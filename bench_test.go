@@ -1,0 +1,181 @@
+package ulpdp
+
+// One benchmark per table and figure of the paper, each regenerating
+// the exhibit end to end at reduced (Quick) scale, plus
+// micro-benchmarks of the hot paths. Run the exhibits at full scale
+// with cmd/dpbench.
+
+import (
+	"io"
+	"testing"
+
+	"ulpdp/internal/core"
+	"ulpdp/internal/experiments"
+	"ulpdp/internal/laplace"
+	"ulpdp/internal/msp430"
+	"ulpdp/internal/urng"
+)
+
+func benchExhibit(b *testing.B, name string) {
+	b.Helper()
+	cfg := experiments.Quick()
+	run := experiments.Registry[name]
+	if run == nil {
+		b.Fatalf("unknown exhibit %s", name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B)     { benchExhibit(b, "fig4") }
+func BenchmarkFigure6(b *testing.B)     { benchExhibit(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)     { benchExhibit(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)     { benchExhibit(b, "fig8") }
+func BenchmarkFigure11(b *testing.B)    { benchExhibit(b, "fig11") }
+func BenchmarkFigure12(b *testing.B)    { benchExhibit(b, "fig12") }
+func BenchmarkFigure13(b *testing.B)    { benchExhibit(b, "fig13") }
+func BenchmarkFigure14(b *testing.B)    { benchExhibit(b, "fig14") }
+func BenchmarkFigure15(b *testing.B)    { benchExhibit(b, "fig15") }
+func BenchmarkTableI(b *testing.B)      { benchExhibit(b, "table1") }
+func BenchmarkTableII(b *testing.B)     { benchExhibit(b, "table2") }
+func BenchmarkTableIII(b *testing.B)    { benchExhibit(b, "table3") }
+func BenchmarkTableIV(b *testing.B)     { benchExhibit(b, "table4") }
+func BenchmarkTableV(b *testing.B)      { benchExhibit(b, "table5") }
+func BenchmarkTableVI(b *testing.B)     { benchExhibit(b, "table6") }
+func BenchmarkSectionIIID(b *testing.B) { benchExhibit(b, "sec3d") }
+func BenchmarkSectionV(b *testing.B)    { benchExhibit(b, "sec5") }
+
+// Ablations and extensions beyond the paper.
+func BenchmarkAblateRNG(b *testing.B)      { benchExhibit(b, "ablate-rng") }
+func BenchmarkAblateCharging(b *testing.B) { benchExhibit(b, "ablate-charging") }
+func BenchmarkAblateLog(b *testing.B)      { benchExhibit(b, "ablate-log") }
+func BenchmarkAblateFamily(b *testing.B)   { benchExhibit(b, "ablate-family") }
+func BenchmarkAblateFloat(b *testing.B)    { benchExhibit(b, "ablate-float") }
+func BenchmarkExtRappor(b *testing.B)      { benchExhibit(b, "ext-rappor") }
+
+// --- micro-benchmarks of the hot paths ---
+
+var benchPar = core.Params{Lo: 0, Hi: 10, Eps: 0.5, Bu: 17, By: 12, Delta: 10.0 / 32}
+
+// BenchmarkNoiseIdeal measures one real-valued Laplace report.
+func BenchmarkNoiseIdeal(b *testing.B) {
+	m := core.NewIdealLaplace(benchPar, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Noise(5)
+	}
+}
+
+// BenchmarkNoiseBaselineCordic measures the naive FxP report through
+// the bit-accurate CORDIC datapath.
+func BenchmarkNoiseBaselineCordic(b *testing.B) {
+	m := core.NewBaseline(benchPar, nil, urng.NewTaus88(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Noise(5)
+	}
+}
+
+// BenchmarkNoiseThresholding measures the certified thresholding
+// guard per report.
+func BenchmarkNoiseThresholding(b *testing.B) {
+	th, err := core.ThresholdingThreshold(benchPar, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := core.NewThresholding(benchPar, th, nil, urng.NewTaus88(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Noise(5)
+	}
+}
+
+// BenchmarkNoiseResampling measures the resampling guard per report
+// (worst case: extreme input).
+func BenchmarkNoiseResampling(b *testing.B) {
+	th, err := core.ResamplingThreshold(benchPar, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := core.NewResampling(benchPar, th, nil, urng.NewTaus88(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Noise(10)
+	}
+}
+
+// BenchmarkExactPMF measures the closed-form RNG distribution
+// materialization the analyzer builds on.
+func BenchmarkExactPMF(b *testing.B) {
+	d := laplace.NewDist(benchPar.FxP())
+	for i := 0; i < b.N; i++ {
+		d.PMF()
+	}
+}
+
+// BenchmarkAnalyzerCertify measures a full exact certification of the
+// thresholding mechanism.
+func BenchmarkAnalyzerCertify(b *testing.B) {
+	th, err := core.ThresholdingThreshold(benchPar, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		an := core.NewAnalyzer(benchPar)
+		if rep := an.ThresholdingLoss(th); rep.Infinite {
+			b.Fatal("certification failed")
+		}
+	}
+}
+
+// BenchmarkThresholdClosedForm measures the eq. 13/15 calculators.
+func BenchmarkThresholdClosedForm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ThresholdingThreshold(benchPar, 2); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.ResamplingThreshold(benchPar, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPBoxTransaction measures one full hardware noising
+// transaction through the cycle-level simulator.
+func BenchmarkDPBoxTransaction(b *testing.B) {
+	box, err := NewDPBox(DPBoxConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := box.Initialize(1e12, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := box.Configure(1, 0, 32); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := box.NoiseValue(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMSP430SoftNoise measures the emulated software noising
+// routine (thousands of emulated cycles per call).
+func BenchmarkMSP430SoftNoise(b *testing.B) {
+	n, err := msp430.NewSoftNoiser(msp430.FixedPoint20, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := n.Noise(100, 64, -3000, 3000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

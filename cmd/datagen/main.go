@@ -1,0 +1,85 @@
+// Command datagen emits the synthetic Table I datasets as CSV.
+//
+// Usage:
+//
+//	datagen [-seed N] [-n N] [-list] [dataset]
+//
+// Without a dataset argument all seven are written to files named
+// after the dataset; with one, its CSV goes to stdout.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"ulpdp"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2018, "generator seed")
+	n := flag.Int("n", 0, "override the entry count (0 = Table I size)")
+	list := flag.Bool("list", false, "list dataset names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, m := range ulpdp.Datasets() {
+			fmt.Printf("%-24s %8d entries  [%g, %g]\n", m.Name, m.Entries, m.Min, m.Max)
+		}
+		return
+	}
+
+	if name := flag.Arg(0); name != "" {
+		m, err := ulpdp.DatasetByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeCSV(os.Stdout, m, *seed, *n); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	for _, m := range ulpdp.Datasets() {
+		fn := m.FileName()
+		f, err := os.Create(fn)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeCSV(f, m, *seed, *n); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", fn)
+	}
+}
+
+func writeCSV(w io.Writer, m ulpdp.Dataset, seed uint64, n int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %s — %s\nvalue\n", m.Name, m.Source); err != nil {
+		return err
+	}
+	var data []float64
+	if n > 0 {
+		data = m.GenerateN(n, seed)
+	} else {
+		data = m.Generate(seed)
+	}
+	for _, v := range data {
+		if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64) + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,192 @@
+// Command dpboxsim drives a cycle-level DP-Box interactively through
+// its command port, the way firmware would.
+//
+// Usage:
+//
+//	dpboxsim [-budget N] [-replenish N] [-bu N] [-by N] [-mult F]
+//
+// Then one command per line on stdin:
+//
+//	eps <shift>         set ε = 2^-shift
+//	range <lo> <hi>     set the sensor range (steps)
+//	mode <t|r>          thresholding / resampling
+//	rr                  randomized-response mode (threshold 0)
+//	noise <x>           noise a sensor value (steps)
+//	run <x> <count>     noise x repeatedly, print a summary
+//	status              show phase, budget, threshold, cycles
+//	quit
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ulpdp"
+)
+
+type session struct {
+	box *ulpdp.DPBox
+	out *bufio.Writer
+}
+
+func main() {
+	budgetNats := flag.Float64("budget", 50, "privacy budget in nats")
+	replenish := flag.Uint64("replenish", 0, "replenishment period in cycles (0 = never)")
+	bu := flag.Int("bu", 17, "URNG magnitude bits")
+	by := flag.Int("by", 14, "noise output bits")
+	mult := flag.Float64("mult", 2, "certified loss multiplier")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform of the session to this file")
+	flag.Parse()
+
+	box, err := ulpdp.NewDPBox(ulpdp.DPBoxConfig{Bu: *bu, By: *by, Mult: *mult})
+	if err != nil {
+		fatal(err)
+	}
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := ulpdp.NewVCDTracer(f)
+		if err != nil {
+			fatal(err)
+		}
+		box.SetTracer(tr)
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dpboxsim: vcd:", err)
+			}
+			f.Close()
+		}()
+	}
+	if err := box.Initialize(*budgetNats, *replenish); err != nil {
+		fatal(err)
+	}
+	s := &session{box: box, out: bufio.NewWriter(os.Stdout)}
+	s.printf("DP-Box initialized: budget %.2f nats, replenish every %d cycles\n", *budgetNats, *replenish)
+	s.printf("configure with `eps <shift>` and `range <lo> <hi>`, then `noise <x>`\n")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		s.printf("> ")
+		s.out.Flush()
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if err := s.dispatch(fields); err != nil {
+			if errors.Is(err, errQuit) {
+				s.out.Flush()
+				return
+			}
+			s.printf("error: %v\n", err)
+		}
+	}
+}
+
+var errQuit = errors.New("quit")
+
+func (s *session) printf(format string, args ...any) {
+	fmt.Fprintf(s.out, format, args...)
+}
+
+func (s *session) dispatch(fields []string) error {
+	box := s.box
+	switch fields[0] {
+	case "quit", "exit":
+		return errQuit
+	case "status":
+		s.printf("phase=%v budget=%.3f nats threshold=%d steps eps=%g cycles=%d\n",
+			box.Phase(), box.BudgetRemaining(), box.Threshold(), box.Epsilon(), box.Cycles())
+	case "eps":
+		shift, err := argInt(fields, 1)
+		if err != nil {
+			return err
+		}
+		return box.Command(ulpdp.DPBoxCmdSetEpsilon, shift)
+	case "range":
+		lo, err := argInt(fields, 1)
+		if err != nil {
+			return err
+		}
+		hi, err := argInt(fields, 2)
+		if err != nil {
+			return err
+		}
+		if err := box.Command(ulpdp.DPBoxCmdSetRangeLower, lo); err != nil {
+			return err
+		}
+		return box.Command(ulpdp.DPBoxCmdSetRangeUpper, hi)
+	case "mode":
+		if len(fields) < 2 {
+			return errors.New("usage: mode t|r")
+		}
+		return box.SetResampling(fields[1] == "r")
+	case "rr":
+		return box.OverrideThreshold(0)
+	case "noise":
+		x, err := argInt(fields, 1)
+		if err != nil {
+			return err
+		}
+		r, err := box.NoiseValue(x)
+		if err != nil {
+			return err
+		}
+		s.printf("y=%d cycles=%d resamples=%d charged=%.3f cached=%v budget=%.3f\n",
+			r.Value, r.Cycles, r.Resamples, r.Charged, r.FromCache, box.BudgetRemaining())
+	case "run":
+		x, err := argInt(fields, 1)
+		if err != nil {
+			return err
+		}
+		count, err := argInt(fields, 2)
+		if err != nil {
+			return err
+		}
+		if count < 1 {
+			return errors.New("count must be positive")
+		}
+		var cycles, resamples int
+		var cached int
+		var sum float64
+		for i := int64(0); i < count; i++ {
+			r, err := box.NoiseValue(x)
+			if err != nil {
+				return err
+			}
+			cycles += r.Cycles
+			resamples += r.Resamples
+			sum += float64(r.Value)
+			if r.FromCache {
+				cached++
+			}
+		}
+		s.printf("%d runs: mean y=%.2f, avg cycles=%.3f, resamples=%d, cached=%d, budget=%.3f\n",
+			count, sum/float64(count), float64(cycles)/float64(count), resamples, cached,
+			box.BudgetRemaining())
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+	return nil
+}
+
+func argInt(fields []string, idx int) (int64, error) {
+	if idx >= len(fields) {
+		return 0, fmt.Errorf("missing argument %d", idx)
+	}
+	return strconv.ParseInt(fields[idx], 10, 64)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpboxsim:", err)
+	os.Exit(1)
+}

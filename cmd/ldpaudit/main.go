@@ -1,0 +1,174 @@
+// Command ldpaudit certifies a privacy configuration: given a sensor
+// range, ε and the fixed-point RNG geometry, it runs the exact
+// analysis and reports whether local differential privacy actually
+// holds — for the naive implementation (it won't), for the paper's
+// guards at their certified thresholds, and for the constant-time
+// variant — plus the guard windows and budget charging bands a
+// hardware team needs.
+//
+// Usage:
+//
+//	ldpaudit -lo 0 -hi 10 -eps 0.5 -bu 17 -by 12 -delta 0.3125 [-mult 2] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ulpdp"
+	"ulpdp/internal/core"
+)
+
+// Audit is the machine-readable report.
+type Audit struct {
+	Params ulpdp.Params `json:"params"`
+	Mult   float64      `json:"mult"`
+
+	BaselineInfinite bool `json:"baseline_infinite"`
+
+	ThresholdingThreshold int64   `json:"thresholding_threshold,omitempty"`
+	ThresholdingLoss      float64 `json:"thresholding_loss,omitempty"`
+	ThresholdingOK        bool    `json:"thresholding_ok"`
+
+	ResamplingThreshold int64   `json:"resampling_threshold,omitempty"`
+	ResamplingLoss      float64 `json:"resampling_loss,omitempty"`
+	ResamplingOK        bool    `json:"resampling_ok"`
+
+	ConstantTimeThreshold int64   `json:"constant_time_threshold,omitempty"`
+	ConstantTimeLoss      float64 `json:"constant_time_loss,omitempty"`
+	ConstantTimeOK        bool    `json:"constant_time_ok"`
+
+	InteriorLoss float64        `json:"interior_loss,omitempty"`
+	Segments     []core.Segment `json:"segments,omitempty"`
+
+	Errors []string `json:"errors,omitempty"`
+}
+
+func main() {
+	lo := flag.Float64("lo", 0, "sensor range lower bound")
+	hi := flag.Float64("hi", 10, "sensor range upper bound")
+	eps := flag.Float64("eps", 0.5, "per-report privacy parameter ε")
+	bu := flag.Int("bu", 17, "URNG magnitude bits")
+	by := flag.Int("by", 12, "signed noise output bits")
+	delta := flag.Float64("delta", 0, "quantization step Δ (default: range/256)")
+	mult := flag.Float64("mult", 2, "loss multiplier target (worst case mult·ε)")
+	candidates := flag.Int("k", 4, "constant-time candidate samples")
+	jsonOut := flag.Bool("json", false, "emit the audit as JSON")
+	flag.Parse()
+
+	if *delta == 0 {
+		*delta = (*hi - *lo) / 256
+	}
+	par := ulpdp.Params{Lo: *lo, Hi: *hi, Eps: *eps, Bu: *bu, By: *by, Delta: *delta}
+	if err := par.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ldpaudit:", err)
+		os.Exit(2)
+	}
+
+	audit := run(par, *mult, *candidates)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(audit); err != nil {
+			fmt.Fprintln(os.Stderr, "ldpaudit:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	render(audit)
+	if !audit.ThresholdingOK && !audit.ResamplingOK {
+		os.Exit(1)
+	}
+}
+
+func run(par ulpdp.Params, mult float64, k int) Audit {
+	a := Audit{Params: par, Mult: mult}
+	bound := mult * par.Eps
+
+	if rep, err := ulpdp.CertifyBaseline(par); err == nil {
+		a.BaselineInfinite = rep.Infinite
+	} else {
+		a.Errors = append(a.Errors, "baseline: "+err.Error())
+	}
+
+	if th, err := ulpdp.ThresholdingThreshold(par, mult); err == nil {
+		a.ThresholdingThreshold = th
+		if rep, err := ulpdp.CertifyThresholding(par, th); err == nil {
+			a.ThresholdingLoss = rep.MaxLoss
+			a.ThresholdingOK = rep.Bounded(bound)
+		}
+		an := core.NewAnalyzer(par)
+		a.InteriorLoss = an.InteriorLoss(th)
+		a.Segments = an.Segments(th, chargingMults(mult))
+	} else {
+		a.Errors = append(a.Errors, "thresholding: "+err.Error())
+	}
+
+	if th, err := ulpdp.ResamplingThreshold(par, mult); err == nil {
+		a.ResamplingThreshold = th
+		if rep, err := ulpdp.CertifyResampling(par, th); err == nil {
+			a.ResamplingLoss = rep.MaxLoss
+			a.ResamplingOK = rep.Bounded(bound)
+		}
+	} else {
+		a.Errors = append(a.Errors, "resampling: "+err.Error())
+	}
+
+	if th, err := core.ExactConstantTimeThreshold(par, mult, k); err == nil {
+		a.ConstantTimeThreshold = th
+		if rep, err := ulpdp.CertifyConstantTime(par, th, k); err == nil {
+			a.ConstantTimeLoss = rep.MaxLoss
+			a.ConstantTimeOK = rep.Bounded(bound)
+		}
+	} else {
+		a.Errors = append(a.Errors, "constant-time: "+err.Error())
+	}
+	return a
+}
+
+func chargingMults(mult float64) []float64 {
+	var out []float64
+	for _, m := range []float64{1.25, 1.5, 1.75} {
+		if m < mult {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func render(a Audit) {
+	p := a.Params
+	fmt.Printf("LDP audit: range [%g, %g], ε=%g, Bu=%d, By=%d, Δ=%g (target %.3g·ε = %.4f nats)\n\n",
+		p.Lo, p.Hi, p.Eps, p.Bu, p.By, p.Delta, a.Mult, a.Mult*p.Eps)
+	verdict := func(ok bool) string {
+		if ok {
+			return "CERTIFIED"
+		}
+		return "NOT CERTIFIED"
+	}
+	fmt.Printf("naive (no guard):        %s\n", map[bool]string{true: "INFINITE LOSS — do not ship", false: "unexpectedly finite (check config)"}[a.BaselineInfinite])
+	if a.ThresholdingThreshold > 0 {
+		fmt.Printf("thresholding:            %s  threshold %d steps, exact loss %.4f\n",
+			verdict(a.ThresholdingOK), a.ThresholdingThreshold, a.ThresholdingLoss)
+	}
+	if a.ResamplingThreshold > 0 {
+		fmt.Printf("resampling:              %s  threshold %d steps, exact loss %.4f\n",
+			verdict(a.ResamplingOK), a.ResamplingThreshold, a.ResamplingLoss)
+	}
+	if a.ConstantTimeThreshold > 0 {
+		fmt.Printf("constant-time (k=4):     %s  threshold %d steps, exact loss %.4f\n",
+			verdict(a.ConstantTimeOK), a.ConstantTimeThreshold, a.ConstantTimeLoss)
+	}
+	if a.InteriorLoss > 0 {
+		fmt.Printf("\nbudget charging: in-range %.4f nats", a.InteriorLoss)
+		for _, s := range a.Segments {
+			fmt.Printf("; ≤%d steps beyond: %.2f·ε", s.Offset, s.Mult)
+		}
+		fmt.Println()
+	}
+	for _, e := range a.Errors {
+		fmt.Println("note:", e)
+	}
+}

@@ -1,0 +1,49 @@
+// Command msp430run executes the Section III-D software noising
+// routines on the MSP430 emulator and reports their cycle costs next
+// to the DP-Box hardware numbers.
+//
+// Usage:
+//
+//	msp430run [-n N] [-seed N] [-lambda N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ulpdp"
+	"ulpdp/internal/msp430"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "noising transactions per routine")
+	seed := flag.Uint64("seed", 1, "software RNG seed")
+	lambda := flag.Int("lambda", 64, "noise scale λ in steps")
+	flag.Parse()
+
+	fmt.Printf("%-34s %12s %12s\n", "routine", "avg cycles", "vs DP-Box")
+	for _, prec := range []msp430.Precision{msp430.FixedPoint20, msp430.HalfPrecision} {
+		noiser, err := ulpdp.NewSoftNoiser(prec, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		var total uint64
+		for i := 0; i < *n; i++ {
+			_, cycles, err := noiser.Noise(100, uint16(*lambda), -30000, 30000)
+			if err != nil {
+				fatal(err)
+			}
+			total += cycles
+		}
+		avg := float64(total) / float64(*n)
+		fmt.Printf("%-34s %12.1f %11.0fx\n", "MSP430 "+prec.String(), avg, avg/4)
+	}
+	fmt.Printf("%-34s %12.1f %12s\n", "DP-Box (incl. MCU write/read)", 4.0, "1x")
+	fmt.Println("\n(paper: 4043 cycles fixed point, 1436 half precision, 4 hardware)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msp430run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module ulpdp
+
+go 1.22

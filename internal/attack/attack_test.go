@@ -1,0 +1,172 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ulpdp/internal/urng"
+)
+
+func TestAveragingConvergesWithoutBudget(t *testing.T) {
+	// Against an unlimited noisy oracle, the averaging attack's error
+	// shrinks like 1/sqrt(n) — the paper's "no budget" curve.
+	rng := urng.NewSplitMix64(1)
+	const truth = 50.0
+	req := func() (float64, error) {
+		// Laplace-ish noise of scale 20 via difference of exponentials.
+		return truth + 20*(rng.ExpFloat64()-rng.ExpFloat64()), nil
+	}
+	tr, err := Run(req, 20000, truth, 100, []int{10, 100, 1000, 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 4 {
+		t.Fatalf("recorded %d points", len(tr.Requests))
+	}
+	first, last := tr.RelErrs[0], tr.FinalError()
+	if last >= first {
+		t.Errorf("error should shrink: %g -> %g", first, last)
+	}
+	if last > 0.02 {
+		t.Errorf("final error %g too large for 20000 averaged requests", last)
+	}
+}
+
+func TestCachedOracleFlattensError(t *testing.T) {
+	// Once the oracle starts replaying a cached value, the estimate
+	// converges to the cached value, not the truth: error flattens at
+	// a floor — the paper's budgeted curves.
+	rng := urng.NewSplitMix64(2)
+	const truth = 50.0
+	const budget = 30
+	var served int
+	var cache float64
+	req := func() (float64, error) {
+		if served < budget {
+			served++
+			cache = truth + 20*(rng.ExpFloat64()-rng.ExpFloat64())
+			return cache, nil
+		}
+		return cache, nil
+	}
+	tr, err := Run(req, 50000, truth, 100, []int{30, 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atBudget, _ := tr.ErrorAt(30)
+	final := tr.FinalError()
+	// The final estimate is pulled to the cached value; its error
+	// cannot be much below the single-sample error of the cache.
+	if final < atBudget/10 {
+		t.Errorf("caching failed to floor the error: %g -> %g", atBudget, final)
+	}
+}
+
+func TestRunDedupIgnoresCacheReplays(t *testing.T) {
+	// Oracle: 5 fresh values then constant replay. The dedup
+	// adversary's estimate must equal the mean of the fresh values
+	// plus exactly one replay occurrence (the first repeat is
+	// indistinguishable from a fresh equal value).
+	fresh := []float64{10, 20, 30, 40, 50}
+	i := 0
+	req := func() (float64, error) {
+		if i < len(fresh) {
+			v := fresh[i]
+			i++
+			return v, nil
+		}
+		return fresh[len(fresh)-1], nil
+	}
+	tr, err := RunDedup(req, 1000, 30, 100, []int{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values used: 10,20,30,40,50 (the replayed 50s are dropped as
+	// duplicates of the previous response).
+	want := (10.0 + 20 + 30 + 40 + 50) / 5
+	if got := tr.Estimates[0]; got != want {
+		t.Errorf("estimate %g, want %g", got, want)
+	}
+}
+
+func TestRunDedupValidation(t *testing.T) {
+	ok := func() (float64, error) { return 0, nil }
+	if _, err := RunDedup(ok, 0, 0, 1, nil); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := RunDedup(ok, 1, 0, 0, nil); err == nil {
+		t.Error("zero range should error")
+	}
+	failing := func() (float64, error) { return 0, errors.New("boom") }
+	if _, err := RunDedup(failing, 5, 0, 1, nil); err == nil {
+		t.Error("requester error should propagate")
+	}
+}
+
+func TestRunDedupConvergesLikeRun(t *testing.T) {
+	// Against a never-caching oracle, Run and RunDedup see almost the
+	// same stream (only exact consecutive repeats are dropped, which
+	// are rare for continuous noise) and must converge similarly.
+	rng := urng.NewSplitMix64(5)
+	mk := func() Requester {
+		return func() (float64, error) {
+			return 50 + 20*(rng.ExpFloat64()-rng.ExpFloat64()), nil
+		}
+	}
+	trA, err := Run(mk(), 20000, 50, 100, []int{20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := RunDedup(mk(), 20000, 50, 100, []int{20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(trA.FinalError()-trB.FinalError()) > 0.02 {
+		t.Errorf("dedup diverged from plain run: %g vs %g", trA.FinalError(), trB.FinalError())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ok := func() (float64, error) { return 0, nil }
+	if _, err := Run(ok, 0, 0, 1, nil); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := Run(ok, 1, 0, 0, nil); err == nil {
+		t.Error("zero range should error")
+	}
+	failing := func() (float64, error) { return 0, errors.New("boom") }
+	if _, err := Run(failing, 5, 0, 1, nil); err == nil {
+		t.Error("requester error should propagate")
+	}
+}
+
+func TestRecordEveryRequestWhenNil(t *testing.T) {
+	req := func() (float64, error) { return 1, nil }
+	tr, err := Run(req, 7, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 7 {
+		t.Errorf("recorded %d, want 7", len(tr.Requests))
+	}
+	if tr.FinalError() != 0 {
+		t.Errorf("exact oracle should give zero error, got %g", tr.FinalError())
+	}
+}
+
+func TestErrorAtMissing(t *testing.T) {
+	tr := Trace{Requests: []int{5}, RelErrs: []float64{0.1}}
+	if _, ok := tr.ErrorAt(6); ok {
+		t.Error("missing point should report !ok")
+	}
+	if v, ok := tr.ErrorAt(5); !ok || v != 0.1 {
+		t.Error("present point should be found")
+	}
+}
+
+func TestFinalErrorEmpty(t *testing.T) {
+	if !math.IsNaN((Trace{}).FinalError()) {
+		t.Error("empty trace should give NaN")
+	}
+}

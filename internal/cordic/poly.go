@@ -1,0 +1,107 @@
+package cordic
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// PolyLog evaluates ln(x) with a piecewise quadratic over the
+// mantissa range [1, 2): the "number of polynomial segments of low
+// degree" alternative the paper cites for energy-efficient fixed-
+// point RNG hardware. Coefficients are least-squares-like fits at
+// segment endpoints/midpoint (exact interpolation), stored quantized
+// to the datapath resolution; evaluation is two multiplies and two
+// adds (Horner), cheaper in area than an unrolled CORDIC but with a
+// coarser error floor.
+type PolyLog struct {
+	segBits int // 2^segBits segments over [1,2)
+	frac    int
+	// Per-segment coefficients of ln(1 + (s+t)/2^segBits) as a
+	// quadratic in t ∈ [0,1), fixed point with frac fractional bits.
+	c0, c1, c2 []int64
+	ln2        int64
+}
+
+// NewPolyLog builds a PolyLog with 2^segBits segments and frac
+// fractional bits of internal resolution. It panics on invalid
+// parameters (construction-time programming error).
+func NewPolyLog(segBits, frac int) *PolyLog {
+	if segBits < 1 || segBits > 10 {
+		panic(fmt.Sprintf("cordic: segBits %d out of range [1,10]", segBits))
+	}
+	if frac < 8 || frac > 40 {
+		panic(fmt.Sprintf("cordic: poly frac %d out of range [8,40]", frac))
+	}
+	n := 1 << uint(segBits)
+	p := &PolyLog{
+		segBits: segBits,
+		frac:    frac,
+		c0:      make([]int64, n),
+		c1:      make([]int64, n),
+		c2:      make([]int64, n),
+		ln2:     toFixed(math.Ln2, frac),
+	}
+	for s := 0; s < n; s++ {
+		// Interpolate ln(w) at t = 0, 1/2, 1 within the segment
+		// w = 1 + (s+t)/n.
+		f := func(t float64) float64 { return math.Log(1 + (float64(s)+t)/float64(n)) }
+		y0, ym, y1 := f(0), f(0.5), f(1)
+		a := 2*y0 - 4*ym + 2*y1 // t^2 coefficient
+		b := -3*y0 + 4*ym - y1  // t coefficient
+		p.c0[s] = toFixed(y0, frac)
+		p.c1[s] = toFixed(b, frac)
+		p.c2[s] = toFixed(a, frac)
+	}
+	return p
+}
+
+// LnRaw computes ln(v·2^-frac) for positive v, returning the result
+// with p.frac fractional bits. Panics if v <= 0.
+func (p *PolyLog) LnRaw(v int64, frac int) int64 {
+	if v <= 0 {
+		panic("cordic: poly ln of non-positive value")
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	e := msb - frac
+	// Mantissa fraction bits: w = 1.mantissa, keep p.frac bits of it.
+	var mant int64
+	if shift := p.frac - msb; shift >= 0 {
+		mant = (v << uint(shift)) & ((int64(1) << uint(p.frac)) - 1)
+	} else {
+		mant = (v >> uint(-shift)) & ((int64(1) << uint(p.frac)) - 1)
+	}
+	// Segment index = top segBits of the mantissa; t = remainder
+	// rescaled to [0,1) with p.frac fractional bits.
+	s := mant >> uint(p.frac-p.segBits)
+	t := (mant & ((int64(1) << uint(p.frac-p.segBits)) - 1)) << uint(p.segBits)
+	// Horner: c0 + t*(c1 + t*c2), t in [0,1) fixed point.
+	acc := p.c2[s]
+	acc = p.c1[s] + fxMul(acc, t, p.frac)
+	acc = p.c0[s] + fxMul(acc, t, p.frac)
+	return acc + int64(e)*p.ln2
+}
+
+// Frac returns the internal fixed-point resolution.
+func (p *PolyLog) Frac() int { return p.frac }
+
+// fxMul multiplies two fixed-point values with frac fractional bits,
+// truncating (hardware-cheap) the extra fractional bits. The full
+// 128-bit product is formed so no intermediate overflow is possible.
+func fxMul(a, b int64, frac int) int64 {
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(absI64(a)), uint64(absI64(b))
+	hi, lo := bits.Mul64(ua, ub)
+	res := hi<<uint(64-frac) | lo>>uint(frac)
+	if neg {
+		return -int64(res)
+	}
+	return int64(res)
+}
+
+func absI64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

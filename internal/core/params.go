@@ -1,0 +1,87 @@
+// Package core implements the paper's primary contribution: local
+// differential privacy mechanisms for fixed-point ultra-low-power
+// hardware, the resampling and thresholding guards that restore the
+// ε-LDP guarantee the naive implementation loses, the closed-form
+// threshold calculators (eqs. 13 and 15, re-derived), and an exact
+// privacy-loss analyzer that certifies — by enumerating the discrete
+// output distributions — whether a mechanism's worst-case loss is
+// finite and below a target.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ulpdp/internal/laplace"
+)
+
+// Params describes one sensor's privacy configuration: its range
+// [Lo, Hi], the per-report privacy parameter ε, and the fixed-point
+// RNG geometry (B_u uniform bits, B_y output bits, step Δ).
+//
+// Sensor values are quantized onto the Δ grid before noising — on a
+// ULP system the sensor output is itself a fixed-point word sharing
+// the datapath's resolution, and the privacy analysis requires the
+// input and noise grids to coincide.
+type Params struct {
+	Lo, Hi float64 // sensor range [m, M]
+	Eps    float64 // per-report privacy parameter ε
+	Bu     int     // URNG magnitude bits
+	By     int     // signed noise output bits
+	Delta  float64 // quantization step Δ
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if !(p.Hi > p.Lo) {
+		return fmt.Errorf("core: empty sensor range [%g, %g]", p.Lo, p.Hi)
+	}
+	if !(p.Eps > 0) {
+		return fmt.Errorf("core: non-positive epsilon %g", p.Eps)
+	}
+	if err := p.FxP().Validate(); err != nil {
+		return err
+	}
+	if p.RangeSteps() < 1 {
+		return fmt.Errorf("core: range %g narrower than one step %g", p.Hi-p.Lo, p.Delta)
+	}
+	return nil
+}
+
+// Range returns the sensor range length d = Hi − Lo.
+func (p Params) Range() float64 { return p.Hi - p.Lo }
+
+// Lambda returns the Laplace scale λ = d/ε the local mechanism needs.
+func (p Params) Lambda() float64 { return p.Range() / p.Eps }
+
+// FxP returns the fixed-point RNG parameters induced by p.
+func (p Params) FxP() laplace.FxPParams {
+	return laplace.FxPParams{Bu: p.Bu, By: p.By, Delta: p.Delta, Lambda: p.Lambda()}
+}
+
+// RangeSteps returns d in units of Δ, rounded to the grid.
+func (p Params) RangeSteps() int64 {
+	return int64(math.Round(p.Range() / p.Delta))
+}
+
+// LoSteps returns Lo in units of Δ, rounded to the grid.
+func (p Params) LoSteps() int64 { return int64(math.Round(p.Lo / p.Delta)) }
+
+// HiSteps returns Hi in units of Δ, rounded to the grid.
+func (p Params) HiSteps() int64 { return p.LoSteps() + p.RangeSteps() }
+
+// QuantizeInput rounds a sensor value onto the Δ grid and clamps it
+// to [Lo, Hi], returning the value in steps.
+func (p Params) QuantizeInput(x float64) int64 {
+	s := int64(math.Round(x / p.Delta))
+	if lo := p.LoSteps(); s < lo {
+		s = lo
+	}
+	if hi := p.HiSteps(); s > hi {
+		s = hi
+	}
+	return s
+}
+
+// StepValue converts a step count back to a value.
+func (p Params) StepValue(s int64) float64 { return float64(s) * p.Delta }

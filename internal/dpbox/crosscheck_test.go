@@ -1,0 +1,83 @@
+package dpbox
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ulpdp/internal/budget"
+	"ulpdp/internal/core"
+	"ulpdp/internal/urng"
+)
+
+// TestChargeTableMatchesReferenceController cross-validates the two
+// implementations of Algorithm 1: the DP-Box's fixed-point embedded
+// charging must never charge less than the reference controller
+// (rounding up to sixteenth-nat units is the only allowed
+// difference).
+func TestChargeTableMatchesReferenceController(t *testing.T) {
+	par := core.Params{Lo: 0, Hi: 16, Eps: 0.5, Bu: 12, By: 10, Delta: 1}
+	ref, err := budget.New(par, budget.Config{
+		Budget: 1e6, Mult: 2, Multipliers: []float64{1.25, 1.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := boot(t, Config{Bu: 12, By: 10, Mult: 2, Multipliers: []float64{1.25, 1.5},
+		Source: urng.NewTaus88(77)}, 1e6)
+	if _, err := box.NoiseValue(8); err != nil {
+		t.Fatal(err) // derive tables
+	}
+	if box.Threshold() != ref.Threshold() {
+		t.Fatalf("thresholds differ: dpbox %d vs controller %d", box.Threshold(), ref.Threshold())
+	}
+	for y := -box.Threshold(); y <= 16+box.Threshold(); y++ {
+		hw := float64(box.chargeUnitsFor(y)) * chargeUnit
+		sw := ref.ChargeFor(y)
+		if hw < sw-1e-12 {
+			t.Errorf("output %d: hardware charge %g below reference %g", y, hw, sw)
+		}
+		if hw > sw+chargeUnit+1e-12 {
+			t.Errorf("output %d: hardware charge %g over-rounds reference %g", y, hw, sw)
+		}
+	}
+}
+
+// TestQuickCertifiedThresholdsAlwaysHold fuzzes the privacy
+// configuration space: whenever the closed-form calculators accept a
+// configuration, the exact analyzer must certify the result.
+func TestQuickCertifiedThresholdsAlwaysHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzer fuzzing is slow")
+	}
+	prop := func(buRaw, rangeRaw, epsRaw, multRaw uint8) bool {
+		bu := 8 + int(buRaw%9)               // 8..16
+		rangeSteps := 4 + int(rangeRaw%60)   // 4..63
+		eps := math.Ldexp(1, -int(epsRaw%3)) // 1, 0.5, 0.25
+		mult := 1.5 + float64(multRaw%3)*0.5 // 1.5, 2, 2.5
+		par := core.Params{
+			Lo: 0, Hi: float64(rangeSteps), Eps: eps,
+			Bu: bu, By: 12, Delta: 1,
+		}
+		if par.Validate() != nil {
+			return true
+		}
+		an := core.NewAnalyzer(par)
+		if th, err := core.ThresholdingThreshold(par, mult); err == nil {
+			if !an.ThresholdingLoss(th).Bounded(mult * eps) {
+				t.Logf("thresholding violation: %+v mult=%g th=%d", par, mult, th)
+				return false
+			}
+		}
+		if th, err := core.ResamplingThreshold(par, mult); err == nil {
+			if !an.ResamplingLoss(th).Bounded(mult * eps) {
+				t.Logf("resampling violation: %+v mult=%g th=%d", par, mult, th)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,751 @@
+// Package dpbox is a cycle-level simulator of DP-Box, the paper's
+// hardware module for local differential privacy (Section IV). It
+// models the 3-bit command port, the three-phase FSM (initialization
+// → waiting → noising), the precomputation of the next Laplace sample
+// during the waiting phase, per-cycle resampling, the embedded
+// budget-control logic with caching and periodic replenishment, and
+// the randomized-response reconfiguration (threshold zero).
+//
+// All port values are integers on the datapath's quantization grid
+// (steps of Δ): the sensor value, the range registers and the noised
+// output are step counts. The privacy parameter is set as the
+// exponent n_m of ε = 2^-n_m (eq. 19), so the noise scaling
+// multiplication reduces to a bit shift in hardware.
+//
+// Latency follows Section V exactly: a noised output takes 2 cycles
+// (one to load the sensor register, one to noise); thresholding adds
+// no cycles; every resample adds one cycle.
+package dpbox
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ulpdp/internal/core"
+	"ulpdp/internal/laplace"
+	"ulpdp/internal/urng"
+)
+
+// Command is the 3-bit command port encoding.
+type Command uint8
+
+const (
+	// CmdDoNothing holds the DP-Box in its current phase.
+	CmdDoNothing Command = iota
+	// CmdStartNoising starts a noising transaction; from the
+	// initialization phase it instead locks the budget configuration
+	// and transitions to the waiting phase.
+	CmdStartNoising
+	// CmdSetEpsilon sets n_m (ε = 2^-n_m) for the next reading; in
+	// the initialization phase it sets the privacy budget (data is in
+	// sixteenths of a nat).
+	CmdSetEpsilon
+	// CmdSetSensorValue loads the value to noise.
+	CmdSetSensorValue
+	// CmdSetRangeUpper sets the sensor range upper bound; in the
+	// initialization phase it sets the replenishment period (cycles).
+	CmdSetRangeUpper
+	// CmdSetRangeLower sets the sensor range lower bound.
+	CmdSetRangeLower
+	// CmdSetThreshold toggles between resampling and thresholding
+	// when data < 0 (the paper's behaviour). With data >= 0 it
+	// additionally overrides the guard threshold: data = 0 selects
+	// the randomized-response configuration of Section VI-E; data > 0
+	// forces an explicit threshold instead of the internally computed
+	// certified one.
+	CmdSetThreshold
+)
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	switch c {
+	case CmdDoNothing:
+		return "DoNothing"
+	case CmdStartNoising:
+		return "StartNoising"
+	case CmdSetEpsilon:
+		return "SetEpsilon"
+	case CmdSetSensorValue:
+		return "SetSensorValue"
+	case CmdSetRangeUpper:
+		return "SetRangeUpper"
+	case CmdSetRangeLower:
+		return "SetRangeLower"
+	case CmdSetThreshold:
+		return "SetThreshold"
+	}
+	return fmt.Sprintf("Command(%d)", uint8(c))
+}
+
+// Phase is the FSM state.
+type Phase int
+
+const (
+	// PhaseInit is entered at power-up; budget and replenishment
+	// period are configurable only here (secure-boot integrity).
+	PhaseInit Phase = iota
+	// PhaseWaiting is the idle-from-outside phase: the replenishment
+	// timer runs and the next Laplace sample is precomputed.
+	PhaseWaiting
+	// PhaseNoising computes (and possibly resamples) the output.
+	PhaseNoising
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseInit:
+		return "init"
+	case PhaseWaiting:
+		return "waiting"
+	case PhaseNoising:
+		return "noising"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Config fixes the synthesized hardware's geometry. The zero value is
+// unusable; use DefaultConfig as a starting point.
+type Config struct {
+	// Bu is the URNG magnitude bit width.
+	Bu int
+	// By is the signed noise output bit width.
+	By int
+	// Mult is the loss multiplier the internally computed guard
+	// threshold certifies (worst-case loss Mult·ε).
+	Mult float64
+	// Multipliers are the budget charging bands (ascending, < Mult).
+	Multipliers []float64
+	// Log is the logarithm datapath; nil selects the CORDIC core the
+	// DP-Box ships (single-cycle, fully unrolled).
+	Log laplace.LogUnit
+	// Source is the Tausworthe URNG; nil selects Taus88 seeded with 1.
+	Source urng.Source
+	// GuardDisabled bypasses resampling/thresholding entirely —
+	// the naive mode of Fig. 12. Never use it for real data.
+	GuardDisabled bool
+	// ConstantTime applies the Section IV-C timing-channel
+	// mitigation to resampling mode: Candidates samples are drawn in
+	// parallel in a single cycle and the first in-window one is
+	// taken (all-miss falls back to an edge clamp), so the latency
+	// no longer depends on the sensor value. The guard threshold is
+	// certified against the exact constant-time analysis.
+	ConstantTime bool
+	// Candidates is the parallel sampler count for ConstantTime
+	// (default 4; costs RNG area, see hwmodel).
+	Candidates int
+}
+
+// DefaultConfig mirrors the synthesized 20-bit DP-Box: a 17-bit
+// URNG magnitude draw and a 12-bit noise word.
+var DefaultConfig = Config{Bu: 17, By: 12, Mult: 2, Multipliers: []float64{1.25, 1.5}}
+
+// chargeUnit is the budget fixed-point resolution: one sixteenth of a
+// nat. Charges are rounded up to it, keeping the accounting sound.
+const chargeUnit = 1.0 / 16
+
+// DPBox is one instance of the hardware module.
+type DPBox struct {
+	cfg Config
+
+	phase  Phase
+	cycles uint64 // total elapsed clock cycles
+
+	// Registers (all in steps of Δ except where noted).
+	epsShift   int   // n_m; ε = 2^-n_m
+	sensor     int64 // value to noise
+	rangeUpper int64
+	rangeLower int64
+	haveEps    bool
+	haveUpper  bool
+	haveLower  bool
+	haveSensor bool
+	resampling bool  // Set Threshold toggle: true = resampling mode
+	thOverride int64 // -1 = auto; 0 = randomized response; >0 explicit
+
+	// Budget state (initialization-locked). The ledger may be shared
+	// between the sensors of a Bank; ownTimer marks the box that
+	// advances the replenishment timer (standalone boxes own theirs;
+	// a Bank's clock drives its shared ledger).
+	ledger   *budgetLedger
+	ownTimer bool
+
+	// Derived noising state.
+	dirty     bool  // registers changed since last derivation
+	threshold int64 // guard threshold in steps
+	segs      []core.Segment
+	interiorU int64 // interior charge in budget units
+	topU      int64 // top charge in budget units
+	segU      []int64
+	sampler   *laplace.Sampler
+	an        *core.Analyzer
+
+	// Precomputed noise (waiting phase).
+	pendingK int64
+	haveK    bool
+
+	// Output port.
+	out        int64
+	ready      bool
+	resamples  int // resamples used by the last transaction
+	lastCharge int64
+	fromCache  bool
+	cache      int64
+	haveCache  bool
+
+	tracer Tracer
+}
+
+// New powers up a DP-Box in the initialization phase.
+func New(cfg Config) (*DPBox, error) {
+	if cfg.Bu == 0 && cfg.By == 0 {
+		cfg = DefaultConfig
+	}
+	if cfg.Mult == 0 {
+		cfg.Mult = 2
+	}
+	if cfg.Mult <= 1 {
+		return nil, fmt.Errorf("dpbox: loss multiplier %g must exceed 1", cfg.Mult)
+	}
+	if cfg.Multipliers == nil {
+		cfg.Multipliers = []float64{1.25, 1.5}
+	}
+	if cfg.Source == nil {
+		cfg.Source = urng.NewTaus88(1)
+	}
+	if cfg.Candidates == 0 {
+		cfg.Candidates = 4
+	}
+	if cfg.Candidates < 1 || cfg.Candidates > 16 {
+		return nil, fmt.Errorf("dpbox: candidate count %d out of range [1,16]", cfg.Candidates)
+	}
+	b := &DPBox{cfg: cfg, phase: PhaseInit, thOverride: -1, dirty: true,
+		ledger: &budgetLedger{}, ownTimer: true}
+	return b, nil
+}
+
+// Phase returns the current FSM phase.
+func (b *DPBox) Phase() Phase { return b.phase }
+
+// Cycles returns the total elapsed clock cycles.
+func (b *DPBox) Cycles() uint64 { return b.cycles }
+
+// Ready reports whether a noised output is available on the output
+// port.
+func (b *DPBox) Ready() bool { return b.ready }
+
+// Output returns the output port value (valid when Ready).
+func (b *DPBox) Output() int64 { return b.out }
+
+// budgetLedger is the budget register file: remaining and initial
+// budget in sixteenth-nat units plus the replenishment timer. A Bank
+// shares one ledger across all its sensors, implementing the paper's
+// Section IV requirement that multiple sensors must share a budget
+// (their readings could be combined to compromise privacy).
+type budgetLedger struct {
+	units          int64
+	initial        int64
+	replenishEvery uint64
+	since          uint64
+	locked         bool
+}
+
+// tick advances the replenishment timer by one cycle.
+func (l *budgetLedger) tick() {
+	if !l.locked || l.replenishEvery == 0 {
+		return
+	}
+	l.since++
+	if l.since >= l.replenishEvery {
+		l.since = 0
+		l.units = l.initial
+	}
+}
+
+// charge deducts units, saturating at zero.
+func (l *budgetLedger) charge(units int64) {
+	l.units -= units
+	if l.units < 0 {
+		l.units = 0
+	}
+}
+
+// BudgetRemaining returns the unspent budget in nats.
+func (b *DPBox) BudgetRemaining() float64 {
+	return float64(b.ledger.units) * chargeUnit
+}
+
+// Threshold returns the guard threshold currently in effect, in
+// steps. Valid after the first noising transaction.
+func (b *DPBox) Threshold() int64 { return b.threshold }
+
+// Epsilon returns the configured per-report ε.
+func (b *DPBox) Epsilon() float64 { return math.Ldexp(1, -b.epsShift) }
+
+// Command presents one command word and data word on the ports; it
+// consumes one clock cycle.
+func (b *DPBox) Command(cmd Command, data int64) error {
+	b.tick()
+	defer b.trace()
+	switch b.phase {
+	case PhaseInit:
+		return b.commandInit(cmd, data)
+	case PhaseWaiting:
+		return b.commandWaiting(cmd, data)
+	case PhaseNoising:
+		// Hardware ignores commands while busy.
+		return errors.New("dpbox: busy noising; command ignored")
+	}
+	return nil
+}
+
+func (b *DPBox) commandInit(cmd Command, data int64) error {
+	switch cmd {
+	case CmdSetEpsilon:
+		if data < 0 {
+			return errors.New("dpbox: negative budget")
+		}
+		b.ledger.initial = data
+		b.ledger.units = data
+	case CmdSetRangeUpper:
+		if data < 0 {
+			return errors.New("dpbox: negative replenishment period")
+		}
+		b.ledger.replenishEvery = uint64(data)
+	case CmdStartNoising:
+		if b.ledger.initial == 0 {
+			return errors.New("dpbox: budget not configured")
+		}
+		b.ledger.locked = true
+		b.phase = PhaseWaiting
+	case CmdDoNothing:
+	default:
+		return fmt.Errorf("dpbox: command %v invalid in initialization phase", cmd)
+	}
+	return nil
+}
+
+func (b *DPBox) commandWaiting(cmd Command, data int64) error {
+	switch cmd {
+	case CmdDoNothing:
+	case CmdSetEpsilon:
+		if data < -8 || data > 16 {
+			return fmt.Errorf("dpbox: epsilon shift %d out of range [-8,16]", data)
+		}
+		b.epsShift = int(data)
+		b.haveEps = true
+		b.dirty = true
+	case CmdSetSensorValue:
+		b.sensor = data
+		b.haveSensor = true
+	case CmdSetRangeUpper:
+		b.rangeUpper = data
+		b.haveUpper = true
+		b.dirty = true
+	case CmdSetRangeLower:
+		b.rangeLower = data
+		b.haveLower = true
+		b.dirty = true
+	case CmdSetThreshold:
+		if data < 0 {
+			b.resampling = !b.resampling
+		} else {
+			b.thOverride = data
+		}
+		b.dirty = true
+	case CmdStartNoising:
+		if err := b.beginNoising(); err != nil {
+			return err
+		}
+		// The first noising attempt is combinational with the command
+		// (the Laplace sample was precomputed in the waiting phase),
+		// so a guard-free transaction completes in this same cycle —
+		// the paper's 2-cycle total including the register load.
+		b.noisingCycle()
+	default:
+		return fmt.Errorf("dpbox: unknown command %v", cmd)
+	}
+	return nil
+}
+
+// beginNoising validates configuration, derives the guard threshold
+// and charge table if stale, and enters the noising phase.
+func (b *DPBox) beginNoising() error {
+	if !(b.haveEps && b.haveUpper && b.haveLower && b.haveSensor) {
+		return errors.New("dpbox: epsilon, range and sensor value must be set before noising")
+	}
+	if b.rangeUpper <= b.rangeLower {
+		return errors.New("dpbox: empty sensor range")
+	}
+	if b.dirty {
+		if err := b.derive(); err != nil {
+			return err
+		}
+		b.dirty = false
+	}
+	b.phase = PhaseNoising
+	b.ready = false
+	b.resamples = 0
+	b.fromCache = false
+	return nil
+}
+
+// params assembles the core parameters implied by the registers
+// (Δ = 1: port values are already in steps).
+func (b *DPBox) params() core.Params {
+	return core.Params{
+		Lo:    float64(b.rangeLower),
+		Hi:    float64(b.rangeUpper),
+		Eps:   b.Epsilon(),
+		Bu:    b.cfg.Bu,
+		By:    b.cfg.By,
+		Delta: 1,
+	}
+}
+
+func (b *DPBox) derive() error {
+	par := b.params()
+	if err := par.Validate(); err != nil {
+		return err
+	}
+	// The DP-Box's λ/Δ = d·2^n_m is always dyadic (eq. 19), so the
+	// all-integer scaling datapath applies: no float64 operation
+	// touches the noise, matching the synthesized hardware bit for
+	// bit. Negative n_m beyond the dyadic window (never reachable
+	// through the validated port range) falls back to the reference
+	// scaler.
+	hw, err := laplace.NewHWSampler(par.FxP(), b.cfg.Log, b.cfg.Source)
+	if err != nil {
+		hw = laplace.NewSampler(par.FxP(), b.cfg.Log, b.cfg.Source)
+	}
+	b.sampler = hw
+	switch {
+	case b.cfg.GuardDisabled:
+		b.threshold = laplace.NewDist(par.FxP()).MaxK()
+		b.an = nil
+		b.segs = nil
+	case b.thOverride >= 0:
+		b.threshold = b.thOverride
+		b.an = core.NewAnalyzer(par)
+	default:
+		var th int64
+		var err error
+		switch {
+		case b.resampling && b.cfg.ConstantTime:
+			th, err = core.ExactConstantTimeThreshold(par, b.cfg.Mult, b.cfg.Candidates)
+		case b.resampling:
+			th, err = core.ResamplingThreshold(par, b.cfg.Mult)
+		default:
+			th, err = core.ThresholdingThreshold(par, b.cfg.Mult)
+		}
+		if err != nil {
+			return err
+		}
+		b.threshold = th
+		b.an = core.NewAnalyzer(par)
+	}
+	if b.an != nil {
+		// Resampling renormalizes each input's conditional by its
+		// acceptance mass; the per-output charges (derived from the
+		// thresholding profile) absorb that slack explicitly, capped
+		// at the certified top charge.
+		zSlack := 0.0
+		if b.resampling {
+			tail := laplace.NewDist(par.FxP()).TailMag(b.threshold)
+			zSlack = -math.Log1p(-2 * tail)
+		}
+		b.segs = b.an.Segments(b.threshold, b.cfg.Multipliers)
+		b.interiorU = ceilUnits(b.an.InteriorLoss(b.threshold) + zSlack)
+		if b.thOverride < 0 {
+			// Certified threshold: the exact worst case is below
+			// Mult·ε, so Mult·ε is a sound top band and caps every
+			// other charge.
+			b.topU = ceilUnits(b.cfg.Mult * par.Eps)
+			b.interiorU = minI64(b.interiorU, b.topU)
+		} else {
+			// Override (e.g. randomized-response mode): the threshold
+			// carries no certificate, so the charge table must come
+			// from the exact analysis. An infinite worst case (an
+			// override into the hole region) drains the entire budget
+			// on first use — the honest price of an uncertified
+			// configuration.
+			rep := b.an.ThresholdingLoss(b.threshold)
+			if rep.Infinite {
+				b.topU = math.MaxInt32
+			} else {
+				b.topU = ceilUnits(rep.MaxLoss)
+			}
+			if b.interiorU > b.topU {
+				b.topU = b.interiorU
+			}
+		}
+		b.segU = make([]int64, len(b.segs))
+		for i, s := range b.segs {
+			b.segU[i] = minI64(ceilUnits(s.Mult*par.Eps+zSlack), b.topU)
+		}
+	} else {
+		// Naive mode: flat nominal charge (and no guarantee — the
+		// entire point of Fig. 12).
+		b.interiorU = ceilUnits(par.Eps)
+		b.topU = b.interiorU
+		b.segU = nil
+	}
+	return nil
+}
+
+func ceilUnits(nats float64) int64 {
+	// Infinite or absurd losses saturate to the budget-draining
+	// charge: converting +Inf to int64 directly would wrap negative
+	// and *credit* the ledger.
+	if math.IsNaN(nats) || nats >= float64(math.MaxInt32)*chargeUnit {
+		return math.MaxInt32
+	}
+	return int64(math.Ceil(nats / chargeUnit))
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// chargeUnitsFor maps a raw (pre-clamp) output step to its budget
+// charge in sixteenth-nat units, mirroring budget.Controller.
+func (b *DPBox) chargeUnitsFor(y int64) int64 {
+	if y >= b.rangeLower && y <= b.rangeUpper {
+		return b.interiorU
+	}
+	var offset int64
+	if y > b.rangeUpper {
+		offset = y - b.rangeUpper
+	} else {
+		offset = b.rangeLower - y
+	}
+	for i, s := range b.segs {
+		if offset <= s.Offset {
+			return b.segU[i]
+		}
+	}
+	return b.topU
+}
+
+// Step advances the clock one cycle.
+func (b *DPBox) Step() {
+	b.tick()
+	defer b.trace()
+	switch b.phase {
+	case PhaseWaiting:
+		if !b.haveK && b.sampler != nil {
+			// Precompute the next Laplace sample so noising can
+			// complete in a single cycle (Section IV-C2).
+			b.pendingK = b.sampler.SampleK()
+			b.haveK = true
+		}
+	case PhaseNoising:
+		b.noisingCycle()
+	}
+}
+
+// tick advances time bookkeeping common to every cycle.
+func (b *DPBox) tick() {
+	b.cycles++
+	if b.ownTimer {
+		b.ledger.tick()
+	}
+}
+
+// noisingCycle performs one cycle of the noising phase: one guard
+// attempt with the pending sample.
+func (b *DPBox) noisingCycle() {
+	if b.ledger.units <= 0 && !b.cfg.GuardDisabled {
+		// Budget exhausted: replay the cache (free) or emit the
+		// clamped lower bound if nothing was ever produced.
+		if b.haveCache {
+			b.finish(b.cache, 0, true)
+		} else {
+			b.finish(b.rangeLower, 0, true)
+		}
+		return
+	}
+	if !b.haveK {
+		b.pendingK = b.sampler.SampleK()
+		b.haveK = true
+	}
+	y := b.sensor + b.pendingK
+	b.haveK = false // sample consumed
+	lo := b.rangeLower - b.threshold
+	hi := b.rangeUpper + b.threshold
+	if b.resampling && !b.cfg.GuardDisabled {
+		if b.cfg.ConstantTime {
+			// All candidates are drawn this same cycle by parallel
+			// RNG datapaths; take the first in-window one, clamp the
+			// last to the edge it missed if all fail.
+			for i := 1; i < b.cfg.Candidates && (y < lo || y > hi); i++ {
+				y = b.sensor + b.sampler.SampleK()
+			}
+			charge := b.chargeUnitsFor(y)
+			if y < lo {
+				y = lo
+			}
+			if y > hi {
+				y = hi
+			}
+			b.finish(y, charge, false)
+			return
+		}
+		if y < lo || y > hi {
+			b.resamples++
+			return // next cycle draws a fresh sample
+		}
+		b.finish(y, b.chargeUnitsFor(y), false)
+		return
+	}
+	// Thresholding (or naive) path: clamp, charge for the raw value's
+	// band, done in this cycle.
+	charge := b.chargeUnitsFor(y)
+	if !b.cfg.GuardDisabled {
+		if y < lo {
+			y = lo
+		}
+		if y > hi {
+			y = hi
+		}
+		if b.threshold == 0 {
+			// Randomized-response configuration: 1-bit output stage.
+			if 2*y > b.rangeLower+b.rangeUpper {
+				y = b.rangeUpper
+			} else {
+				y = b.rangeLower
+			}
+		}
+	}
+	b.finish(y, charge, false)
+}
+
+func (b *DPBox) finish(y, chargeU int64, fromCache bool) {
+	if !fromCache {
+		b.ledger.charge(chargeU)
+		b.cache = y
+		b.haveCache = true
+	}
+	b.lastCharge = chargeU
+	b.fromCache = fromCache
+	b.out = y
+	b.ready = true
+	b.phase = PhaseWaiting
+}
+
+// NoiseResult summarizes one complete noising transaction.
+type NoiseResult struct {
+	// Value is the noised output in steps.
+	Value int64
+	// Cycles is the transaction latency: 2 + resamples.
+	Cycles int
+	// Resamples counts extra noise draws.
+	Resamples int
+	// Charged is the budget charge in nats (0 when FromCache).
+	Charged float64
+	// FromCache reports a replayed cached output.
+	FromCache bool
+}
+
+// NoiseValue drives a full transaction: load the sensor value, start
+// noising, and step the clock until the output is ready. The DP-Box
+// must be in the waiting phase with ε and range configured.
+func (b *DPBox) NoiseValue(x int64) (NoiseResult, error) {
+	if b.phase != PhaseWaiting {
+		return NoiseResult{}, fmt.Errorf("dpbox: NoiseValue in phase %v", b.phase)
+	}
+	cycles := 0
+	if err := b.Command(CmdSetSensorValue, x); err != nil {
+		return NoiseResult{}, err
+	}
+	cycles++
+	if err := b.Command(CmdStartNoising, 0); err != nil {
+		return NoiseResult{}, err
+	}
+	cycles++
+	for !b.ready {
+		b.Step()
+		cycles++
+		if cycles > 4096 {
+			return NoiseResult{}, errors.New("dpbox: noising did not converge")
+		}
+	}
+	charge := float64(b.lastCharge) * chargeUnit
+	if b.fromCache {
+		charge = 0
+	}
+	return NoiseResult{
+		Value:     b.out,
+		Cycles:    cycles,
+		Resamples: b.resamples,
+		Charged:   charge,
+		FromCache: b.fromCache,
+	}, nil
+}
+
+// Initialize drives the boot-time configuration: budget (in nats) and
+// replenishment period (cycles; 0 disables), then locks and enters
+// the waiting phase.
+func (b *DPBox) Initialize(budgetNats float64, replenishEvery uint64) error {
+	if b.phase != PhaseInit {
+		return errors.New("dpbox: already initialized (power cycle required)")
+	}
+	if err := b.Command(CmdSetEpsilon, int64(math.Round(budgetNats/chargeUnit))); err != nil {
+		return err
+	}
+	if err := b.Command(CmdSetRangeUpper, int64(replenishEvery)); err != nil {
+		return err
+	}
+	return b.Command(CmdStartNoising, 0)
+}
+
+// Configure sets the per-reading registers from the waiting phase:
+// ε = 2^-epsShift and the sensor range [lower, upper] in steps.
+func (b *DPBox) Configure(epsShift int, lower, upper int64) error {
+	if b.phase != PhaseWaiting {
+		return fmt.Errorf("dpbox: Configure in phase %v", b.phase)
+	}
+	if err := b.Command(CmdSetEpsilon, int64(epsShift)); err != nil {
+		return err
+	}
+	if err := b.Command(CmdSetRangeLower, lower); err != nil {
+		return err
+	}
+	return b.Command(CmdSetRangeUpper, upper)
+}
+
+// SetResampling selects resampling (true) or thresholding (false).
+func (b *DPBox) SetResampling(on bool) error {
+	if b.resampling == on {
+		return nil
+	}
+	return b.Command(CmdSetThreshold, -1)
+}
+
+// OverrideThreshold forces an explicit guard threshold in steps
+// (0 = randomized-response mode). Pass through CmdSetThreshold.
+// Overridden thresholds carry no closed-form certificate: the charge
+// table switches to the exact analysis, and an override whose worst-
+// case loss is infinite drains the entire budget on first use.
+func (b *DPBox) OverrideThreshold(t int64) error {
+	if t < 0 {
+		return errors.New("dpbox: negative threshold override")
+	}
+	return b.Command(CmdSetThreshold, t)
+}
+
+// ClearThresholdOverride returns to the internally computed certified
+// threshold. (A Go-level convenience: the 3-bit command port has no
+// spare encoding for it; real hardware would power cycle.)
+func (b *DPBox) ClearThresholdOverride() {
+	b.thOverride = -1
+	b.dirty = true
+}
+
+// LastFromCache reports whether the most recent output was served
+// from the exhausted-budget cache.
+func (b *DPBox) LastFromCache() bool { return b.fromCache }

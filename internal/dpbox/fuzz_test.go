@@ -1,0 +1,105 @@
+package dpbox
+
+import (
+	"testing"
+
+	"ulpdp/internal/urng"
+)
+
+// TestRandomCommandStormNeverPanics drives a DP-Box with thousands of
+// random commands and data words from every phase: the module must
+// never panic, must stay inside its FSM, and — whenever the guard is
+// active — must never emit an output outside the certified window.
+// This is the robustness property a hardware block needs against
+// hostile or buggy firmware.
+func TestRandomCommandStormNeverPanics(t *testing.T) {
+	rng := urng.NewSplitMix64(2026)
+	for trial := 0; trial < 6; trial++ {
+		box, err := New(Config{Bu: 12, By: 10, Mult: 2, Source: urng.NewTaus88(uint64(trial))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random boot: sometimes properly initialized, sometimes
+		// stormed from the init phase.
+		if rng.Float64() < 0.7 {
+			if err := box.Initialize(float64(1+rng.Intn(100)), uint64(rng.Intn(1000))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var configured bool
+		var lo, hi int64
+		for step := 0; step < 600; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				cmd := Command(rng.Intn(8))
+				data := int64(rng.Intn(2000)) - 1000
+				// Errors are expected (invalid phases, bad ranges);
+				// panics are not.
+				err := box.Command(cmd, data)
+				_ = err
+				configured = false // registers may have changed
+			case 3, 4:
+				box.Step()
+			case 5, 6, 7, 8:
+				if box.Phase() != PhaseWaiting {
+					box.Step()
+					continue
+				}
+				if !configured {
+					lo, hi = int64(rng.Intn(50)), int64(50+rng.Intn(200))
+					if err := box.Configure(rng.Intn(4), lo, hi); err != nil {
+						continue
+					}
+					configured = true
+				}
+				x := lo + int64(rng.Intn(int(hi-lo+1)))
+				r, err := box.NoiseValue(x)
+				if err != nil {
+					configured = false
+					continue
+				}
+				if r.FromCache {
+					// Cache replays may predate the current window;
+					// they add no fresh information by construction.
+					continue
+				}
+				th := box.Threshold()
+				if r.Value < lo-th || r.Value > hi+th {
+					t.Fatalf("trial %d: output %d outside [%d, %d] (threshold %d)",
+						trial, r.Value, lo-th, hi+th, th)
+				}
+			case 9:
+				if rng.Float64() < 0.5 {
+					_ = box.SetResampling(rng.Float64() < 0.5)
+					configured = false
+				} else {
+					_ = box.OverrideThreshold(int64(rng.Intn(50)))
+					configured = false
+				}
+			}
+		}
+	}
+}
+
+// TestBudgetNeverIncreasesWithoutReplenish fuzzes transactions and
+// checks the budget ledger is monotone non-increasing when no
+// replenishment is configured.
+func TestBudgetNeverIncreasesWithoutReplenish(t *testing.T) {
+	rng := urng.NewSplitMix64(7)
+	box := boot(t, smallCfg(61), 40)
+	prev := box.BudgetRemaining()
+	for i := 0; i < 2000; i++ {
+		if rng.Float64() < 0.3 {
+			box.Step()
+		} else {
+			if _, err := box.NoiseValue(int64(rng.Intn(17))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cur := box.BudgetRemaining()
+		if cur > prev {
+			t.Fatalf("budget rose %g -> %g without replenishment", prev, cur)
+		}
+		prev = cur
+	}
+}

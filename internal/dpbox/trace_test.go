@@ -1,0 +1,112 @@
+package dpbox
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ulpdp/internal/urng"
+)
+
+// recorder captures trace states for assertions.
+type recorder struct {
+	states []TraceState
+	cycles []uint64
+}
+
+func (r *recorder) Cycle(c uint64, s TraceState) {
+	r.cycles = append(r.cycles, c)
+	r.states = append(r.states, s)
+}
+
+func TestTracerSeesEveryCycle(t *testing.T) {
+	box := boot(t, smallCfg(41), 100)
+	rec := &recorder{}
+	box.SetTracer(rec)
+	before := box.Cycles()
+	if _, err := box.NoiseValue(8); err != nil {
+		t.Fatal(err)
+	}
+	if got := box.Cycles() - before; uint64(len(rec.cycles)) != got {
+		t.Errorf("tracer saw %d cycles, clock advanced %d", len(rec.cycles), got)
+	}
+	// Cycles are monotone and the last state is ready with an output.
+	for i := 1; i < len(rec.cycles); i++ {
+		if rec.cycles[i] <= rec.cycles[i-1] {
+			t.Fatal("trace cycles not monotone")
+		}
+	}
+	last := rec.states[len(rec.states)-1]
+	if !last.Ready {
+		t.Error("final cycle should be ready")
+	}
+	if last.Phase != PhaseWaiting {
+		t.Errorf("final phase %v", last.Phase)
+	}
+}
+
+func TestTracerBudgetVisible(t *testing.T) {
+	box := boot(t, smallCfg(43), 2)
+	rec := &recorder{}
+	box.SetTracer(rec)
+	if _, err := box.NoiseValue(8); err != nil {
+		t.Fatal(err)
+	}
+	start := rec.states[0].BudgetUnits
+	end := rec.states[len(rec.states)-1].BudgetUnits
+	if end >= start {
+		t.Errorf("traced budget did not decrease: %d -> %d", start, end)
+	}
+}
+
+func TestVCDTracerProducesWaveform(t *testing.T) {
+	var buf bytes.Buffer
+	tr, err := NewVCDTracer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := boot(t, Config{Bu: 12, By: 10, Mult: 2, Source: urng.NewTaus88(47)}, 1000)
+	box.SetTracer(tr)
+	if err := box.SetResampling(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := box.NoiseValue(16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$scope module dpbox $end",
+		"noised_out", "budget_units", "mode_resampling", "ready",
+		"$enddefinitions $end",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waveform missing %q", want)
+		}
+	}
+	// Real activity: many timestamped changes.
+	if strings.Count(out, "#") < 20 {
+		t.Error("waveform has too few time steps")
+	}
+}
+
+func TestDetachTracer(t *testing.T) {
+	box := boot(t, smallCfg(49), 100)
+	rec := &recorder{}
+	box.SetTracer(rec)
+	if _, err := box.NoiseValue(8); err != nil {
+		t.Fatal(err)
+	}
+	n := len(rec.states)
+	box.SetTracer(nil)
+	if _, err := box.NoiseValue(8); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.states) != n {
+		t.Error("detached tracer still receiving cycles")
+	}
+}

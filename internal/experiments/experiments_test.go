@@ -1,0 +1,591 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// shapeCfg is large enough that the paper's qualitative claims are
+// statistically visible, small enough for CI.
+func shapeCfg() Config {
+	return Config{Seed: 2018, Trials: 12, MaxEntries: 3000, Eps: 0.5, Mult: 2}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Trials: 0, Eps: 0.5, Mult: 2},
+		{Trials: 1, Eps: 0, Mult: 2},
+		{Trials: 1, Eps: 0.5, Mult: 1},
+		{Trials: 1, Eps: 0.5, Mult: 2, MaxEntries: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if err := Default().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := Quick().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSettingMeta(t *testing.T) {
+	if len(Settings) != 4 {
+		t.Fatal("four settings expected")
+	}
+	if SettingBaseline.LDP() {
+		t.Error("baseline must not claim LDP")
+	}
+	for _, s := range []Setting{SettingIdeal, SettingResampling, SettingThresholding} {
+		if !s.LDP() {
+			t.Errorf("%v should claim LDP", s)
+		}
+	}
+	if Setting(9).String() != "Setting(9)" {
+		t.Error("unknown setting string")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	r, err := Figure4(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bulk: FxP matches ideal within 1% everywhere the density is
+	// high (the paper's Fig. 4(a) observation).
+	for _, p := range r.Bulk {
+		if p.Ideal < 1e-4 {
+			continue
+		}
+		if math.Abs(p.FxP-p.Ideal)/p.Ideal > 0.01 {
+			t.Errorf("bulk divergence at %g: fxp %g vs ideal %g", p.Noise, p.FxP, p.Ideal)
+		}
+	}
+	// Tail: bounded support and holes (Fig. 4(b)).
+	if r.MaxNoise <= 0 || r.MaxNoise > 300 {
+		t.Errorf("max noise = %g", r.MaxNoise)
+	}
+	if r.FirstHole < 0 {
+		t.Error("expected tail holes")
+	}
+	if r.HolesInTail == 0 {
+		t.Error("expected hole count > 0")
+	}
+	// Beyond L the ideal density is still positive but FxP is zero.
+	last := r.Tail[len(r.Tail)-1]
+	if last.Ideal <= 0 {
+		t.Error("ideal density should be positive at the FxP boundary")
+	}
+}
+
+func TestFigure6And7Shape(t *testing.T) {
+	cfg := Quick()
+	r6, err := Figure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r7, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both certified below mult·ε.
+	for _, r := range []GuardDistResult{r6, r7} {
+		if r.WorstLoss > cfg.Mult*0.5+1e-9 {
+			t.Errorf("%v worst loss %g exceeds %g", r.Setting, r.WorstLoss, cfg.Mult*0.5)
+		}
+		// Every output is producible by both extreme inputs.
+		for i := range r.Outputs {
+			if r.ProbLo[i] <= 0 || r.ProbHi[i] <= 0 {
+				t.Fatalf("%v output %d not in both supports", r.Setting, r.Outputs[i])
+			}
+		}
+		var sumLo, sumHi float64
+		for i := range r.Outputs {
+			sumLo += r.ProbLo[i]
+			sumHi += r.ProbHi[i]
+		}
+		if math.Abs(sumLo-1) > 1e-9 || math.Abs(sumHi-1) > 1e-9 {
+			t.Errorf("%v distributions sum to %g, %g", r.Setting, sumLo, sumHi)
+		}
+	}
+	// Thresholding has boundary atoms much heavier than the adjacent
+	// interior mass (the spikes of Fig. 7).
+	interiorNear := r7.ProbHi[len(r7.ProbHi)-2]
+	if r7.BoundaryAtomHi <= interiorNear {
+		t.Errorf("boundary atom %g not heavier than interior %g", r7.BoundaryAtomHi, interiorNear)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	r, err := Figure8(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Segments) == 0 {
+		t.Fatal("no charging segments")
+	}
+	// Segments nested by multiplier.
+	for i := 1; i < len(r.Segments); i++ {
+		if r.Segments[i].Offset < r.Segments[i-1].Offset {
+			t.Error("segment offsets must be non-decreasing")
+		}
+	}
+	// The profile starts near ε and ends below mult·ε.
+	first := r.Profile[0]
+	if first.Normalized < 0.5 || first.Normalized > 1.5 {
+		t.Errorf("loss at range edge %g·ε", first.Normalized)
+	}
+	last := r.Profile[len(r.Profile)-1]
+	if last.Normalized > 2+1e-9 {
+		t.Errorf("loss at threshold %g·ε exceeds the certified bound", last.Normalized)
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	r, err := Figure11(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("%d datasets", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ThresholdingCycles != 2 {
+			t.Errorf("%s: thresholding %g cycles, want exactly 2", row.Dataset, row.ThresholdingCycles)
+		}
+		if row.ResamplingCycles < 2 {
+			t.Errorf("%s: resampling %g cycles < 2", row.Dataset, row.ResamplingCycles)
+		}
+		// The paper's claim: resampling adds less than one cycle on
+		// average.
+		if row.ResamplingCycles >= 3 {
+			t.Errorf("%s: resampling averages %g cycles", row.Dataset, row.ResamplingCycles)
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	r, err := Figure12(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExclusiveOutputs == 0 {
+		t.Error("naive mode should produce outputs attributable to a single value")
+	}
+	// The bulk overlaps: many outputs hit by both.
+	overlap := 0
+	for y, c1 := range r.Counts1 {
+		if c1 > 0 && r.Counts2[y] > 0 {
+			overlap++
+		}
+	}
+	if overlap < 50 {
+		t.Errorf("bulk overlap too small: %d shared outputs", overlap)
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	r, err := Figure13(shapeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 3 {
+		t.Fatalf("%d curves", len(r.Curves))
+	}
+	noBudget, b50, b10 := r.Curves[0], r.Curves[1], r.Curves[2]
+	last := len(noBudget.RelErrs) - 1
+	// No budget: error keeps shrinking toward zero.
+	if noBudget.RelErrs[last] > 0.15 {
+		t.Errorf("no-budget final error %g too large", noBudget.RelErrs[last])
+	}
+	// Budgets floor the error, larger budget = lower floor, and both
+	// floors sit clearly above the unbounded curve.
+	if b50.RelErrs[last] <= noBudget.RelErrs[last] {
+		t.Error("budget 50 should floor above the unbounded curve")
+	}
+	if b10.RelErrs[last] <= b50.RelErrs[last] {
+		t.Errorf("smaller budget should floor higher: %g vs %g", b10.RelErrs[last], b50.RelErrs[last])
+	}
+	// Flat after exhaustion: final two samples nearly equal.
+	if math.Abs(b10.RelErrs[last]-b10.RelErrs[last-1]) > 0.02 {
+		t.Error("budget-10 curve should be flat at the end")
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	r, err := Figure14(shapeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlipProb <= 0 || r.FlipProb >= 0.5 {
+		t.Fatalf("flip prob %g", r.FlipProb)
+	}
+	if r.RREps <= 0 {
+		t.Fatalf("effective ε %g", r.RREps)
+	}
+	// Relative error shrinks with N (compare first and last).
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if last.RelErr >= first.RelErr {
+		t.Errorf("relative error should shrink: %g -> %g", first.RelErr, last.RelErr)
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	// The coarse-RNG floor only separates from sampling noise at
+	// large N, so this test runs the sweep to N = 10000.
+	cfg := shapeCfg()
+	cfg.MaxEntries = 10000
+	r, err := Figure15(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fine RNG: every setting's error shrinks with N.
+	firstFine, lastFine := r.Fine[0], r.Fine[len(r.Fine)-1]
+	for _, s := range Settings {
+		if lastFine.MAE[s] >= firstFine.MAE[s] {
+			t.Errorf("fine RNG %v: MAE %g -> %g did not shrink", s, firstFine.MAE[s], lastFine.MAE[s])
+		}
+	}
+	// Coarse RNG: the guarded mechanisms floor well above the fine
+	// guarded error at the largest N (the Fig. 15(b) floor).
+	fineGuard := math.Max(lastFine.MAE[SettingResampling], lastFine.MAE[SettingThresholding])
+	if r.CoarseFloor < 1.5*fineGuard {
+		t.Errorf("coarse floor %g not clearly above fine guarded error %g", r.CoarseFloor, fineGuard)
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	r, err := TableI(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Stats.N != row.Meta.Entries {
+			t.Errorf("%s: %d entries, want %d", row.Meta.Name, row.Stats.N, row.Meta.Entries)
+		}
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	r, err := TableII(shapeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// LDP verdicts: baseline N, guards and ideal Y — certified by
+		// the exact analyzer per dataset.
+		if row.Cells[SettingBaseline].LDP {
+			t.Errorf("%s: baseline certified LDP", row.Dataset)
+		}
+		for _, s := range []Setting{SettingIdeal, SettingResampling, SettingThresholding} {
+			if !row.Cells[s].LDP {
+				t.Errorf("%s: %v not certified LDP", row.Dataset, s)
+			}
+		}
+		// Utilities of all four settings are within an order of
+		// magnitude of each other (the paper's "similar utility").
+		ideal := row.Cells[SettingIdeal].Utility.MAE
+		for _, s := range Settings {
+			m := row.Cells[s].Utility.MAE
+			if m > 10*ideal+1e-9 || ideal > 10*m+1e-9 {
+				t.Errorf("%s: %v MAE %g vs ideal %g beyond 10x", row.Dataset, s, m, ideal)
+			}
+		}
+	}
+}
+
+func TestTableVIShape(t *testing.T) {
+	r, err := TableVI(shapeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastSize := len(r.Sizes) - 1
+	noDP := len(r.Eps) - 1 // sentinel 0 is last
+	// No-DP accuracy dominates every noised column at every size.
+	for si := range r.Sizes {
+		clean := r.Cells[si][noDP]
+		if clean < 0.97 {
+			t.Errorf("clean accuracy %g at size %d", clean, r.Sizes[si])
+		}
+		for ei := 0; ei < noDP; ei++ {
+			if r.Cells[si][ei] > clean+0.01 {
+				t.Errorf("noised (ε=%g) beats clean at size %d", r.Eps[ei], r.Sizes[si])
+			}
+		}
+	}
+	// More data helps the most-private column (ε = 0.5).
+	if r.Cells[lastSize][0] <= r.Cells[0][0]-0.02 {
+		t.Errorf("ε=0.5 accuracy did not improve with size: %g -> %g",
+			r.Cells[0][0], r.Cells[lastSize][0])
+	}
+	// Less privacy helps at the largest size.
+	if r.Cells[lastSize][2] < r.Cells[lastSize][0]-0.02 {
+		t.Errorf("ε=2 (%g) should beat ε=0.5 (%g)",
+			r.Cells[lastSize][2], r.Cells[lastSize][0])
+	}
+}
+
+func TestSectionIIIDShape(t *testing.T) {
+	r, err := SectionIIID(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FxPCycles <= r.F16Cycles {
+		t.Errorf("fixed point (%g) should cost more than half precision (%g)", r.FxPCycles, r.F16Cycles)
+	}
+	if r.HWCycles != 2 {
+		t.Errorf("hardware latency %g, want 2", r.HWCycles)
+	}
+	if r.EnergyRatioFxP < 100 {
+		t.Errorf("fxp energy ratio only %gx", r.EnergyRatioFxP)
+	}
+	if r.EnergyRatioF16 >= r.EnergyRatioFxP {
+		t.Error("half precision should have the smaller ratio")
+	}
+}
+
+func TestSectionVShape(t *testing.T) {
+	r, err := SectionV(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Variants) < 5 {
+		t.Fatalf("%d variants", len(r.Variants))
+	}
+	base := r.Variants[0].Report
+	if base.Gates != 10431 {
+		t.Errorf("baseline gates %d, want the paper's 10431", base.Gates)
+	}
+	for _, v := range r.Variants[1:] {
+		switch {
+		case strings.HasPrefix(v.Label, "pipelined"):
+			if v.Report.CritPathNs >= base.CritPathNs || v.Report.Gates <= base.Gates {
+				t.Errorf("%s: expected faster and larger than baseline", v.Label)
+			}
+		case v.Label == "without budget logic":
+			if v.Report.Gates >= base.Gates {
+				t.Errorf("%s: expected smaller", v.Label)
+			}
+		case v.Label == "30 ns timing constraint":
+			if v.Report.Gates <= base.Gates || v.Report.PowerUW <= base.PowerUW {
+				t.Errorf("%s: expected area and power cost", v.Label)
+			}
+		}
+	}
+}
+
+func TestAblateRNGShape(t *testing.T) {
+	r, err := AblateRNG(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 5 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// Narrow URNGs are infeasible; wide ones certified with larger
+	// guards.
+	if r.Rows[0].Feasible {
+		t.Error("Bu=6 should not admit a certified threshold at this grid")
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if !last.Feasible {
+		t.Fatal("Bu=20 should be feasible")
+	}
+	for _, row := range r.Rows {
+		if row.Feasible && row.ExactLoss > r.Mult*fig4Params.Eps+1e-9 {
+			t.Errorf("Bu=%d: exact loss %g above target", row.Bu, row.ExactLoss)
+		}
+	}
+	// Monotone guard growth with width among feasible rows.
+	prev := int64(-1)
+	for _, row := range r.Rows {
+		if !row.Feasible {
+			continue
+		}
+		if row.Threshold < prev {
+			t.Errorf("threshold shrank with width at Bu=%d", row.Bu)
+		}
+		prev = row.Threshold
+	}
+}
+
+func TestAblateChargingShape(t *testing.T) {
+	r, err := AblateCharging(shapeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FreshSegmented <= r.FreshFlat {
+		t.Errorf("segmented charging (%d) should beat flat (%d)", r.FreshSegmented, r.FreshFlat)
+	}
+	if r.MeanChargeSegmented >= r.FlatCharge {
+		t.Errorf("mean charge %g should be below the flat charge %g", r.MeanChargeSegmented, r.FlatCharge)
+	}
+}
+
+func TestAblateLogShape(t *testing.T) {
+	r, err := AblateLog(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.MismatchPerMille >= first.MismatchPerMille {
+		t.Errorf("deeper CORDIC should agree more: %g -> %g ‰", first.MismatchPerMille, last.MismatchPerMille)
+	}
+	if last.MismatchPerMille > 1 {
+		t.Errorf("30 stages should be near-exact, got %g ‰", last.MismatchPerMille)
+	}
+	if last.MaxStepError > 1 {
+		t.Errorf("30-stage max error %d steps", last.MaxStepError)
+	}
+}
+
+func TestAblateFamilyShape(t *testing.T) {
+	r, err := AblateFamily(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d families", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !row.NaiveInfinite {
+			t.Errorf("%s: naive loss should be infinite", row.Family)
+		}
+		if row.FirstHole < 0 {
+			t.Errorf("%s: expected tail holes", row.Family)
+		}
+		if row.IdealTailBeyond <= 0 {
+			t.Errorf("%s: ideal tail should extend past the hardware bound", row.Family)
+		}
+		if row.CertifiedThreshold < 1 {
+			t.Errorf("%s: no certified guard found", row.Family)
+		}
+		if row.CertifiedLoss > 2*r.Eps+1e-9 {
+			t.Errorf("%s: certified loss %g above 2\u03b5", row.Family, row.CertifiedLoss)
+		}
+	}
+}
+
+func TestAblateFloatShape(t *testing.T) {
+	r, err := AblateFloat(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RevealRate01 <= 0.01 || r.RevealRate10 <= 0.01 {
+		t.Errorf("naive float should leak: rates %g, %g", r.RevealRate01, r.RevealRate10)
+	}
+	if r.GuardedInfinite {
+		t.Error("certified fixed point must not have identifying outputs")
+	}
+}
+
+func TestExtRapporShape(t *testing.T) {
+	r, err := ExtRappor(shapeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Eps <= 0 {
+		t.Fatalf("per-report \u03b5 %g", r.Eps)
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if last.MAE >= first.MAE {
+		t.Errorf("frequency MAE should shrink with N: %g -> %g", first.MAE, last.MAE)
+	}
+}
+
+func TestSectionIIIDBudgetUpdate(t *testing.T) {
+	r, err := SectionIIID(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The software bookkeeping alone costs an order of magnitude more
+	// than the whole hardware transaction.
+	if r.BudgetUpdateCycles < 20 || r.BudgetUpdateCycles > 200 {
+		t.Errorf("budget update %g cycles implausible", r.BudgetUpdateCycles)
+	}
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	if len(Registry) != 23 {
+		t.Fatalf("registry has %d exhibits, want 23", len(Registry))
+	}
+	var buf bytes.Buffer
+	if err := RunAll(Quick(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 4", "Figure 6", "Figure 7", "Figure 8", "Figure 11",
+		"Figure 12", "Figure 13", "Figure 14", "Figure 15",
+		"Table I:", "Table II:", "Table III:", "Table IV:", "Table V:", "Table VI:",
+		"Section III-D", "Section V",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestOutputsAreDeterministic(t *testing.T) {
+	// The suite parallelizes internally (analyzer scans, utility
+	// tables); two runs with the same config must render
+	// byte-identical reports.
+	cfg := Quick()
+	var a, b bytes.Buffer
+	if err := RunAll(cfg, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAll(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two identical runs rendered different reports")
+	}
+}
+
+func TestJSONOutputsParse(t *testing.T) {
+	cfg := Quick()
+	for _, name := range Names() {
+		var buf bytes.Buffer
+		if err := RunJSON(name, cfg, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var decoded struct {
+			Exhibit string `json:"exhibit"`
+			Result  any    `json:"result"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", name, err)
+		}
+		if decoded.Exhibit != name {
+			t.Errorf("%s: exhibit field %q", name, decoded.Exhibit)
+		}
+		if decoded.Result == nil {
+			t.Errorf("%s: empty result", name)
+		}
+	}
+}
+
+func TestRunnersRejectInvalidConfig(t *testing.T) {
+	var bad Config
+	for name, run := range Registry {
+		if err := run(bad, &bytes.Buffer{}); err == nil {
+			t.Errorf("%s accepted an invalid config", name)
+		}
+	}
+}

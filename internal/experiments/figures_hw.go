@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ulpdp/internal/dataset"
+	"ulpdp/internal/dpbox"
+	"ulpdp/internal/urng"
+)
+
+// Fig11Row is one dataset's latency measurement.
+type Fig11Row struct {
+	// Dataset is the Table I name.
+	Dataset string
+	// ThresholdingCycles is the average transaction latency with
+	// thresholding (always 2).
+	ThresholdingCycles float64
+	// ResamplingCycles is the average latency with resampling.
+	ResamplingCycles float64
+	// MaxResamples is the worst observed resample count.
+	MaxResamples int
+}
+
+// Fig11Result reproduces Fig. 11: per-dataset DP-Box latency for the
+// two guards. The paper's observation: resampling adds less than one
+// cycle on average.
+type Fig11Result struct {
+	Rows []Fig11Row
+	// Eps is the privacy setting used (the paper uses 0.5).
+	Eps float64
+}
+
+// Figure11 replays every dataset through a cycle-level DP-Box in both
+// guard modes and measures transaction latency.
+func Figure11(cfg Config) (Fig11Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig11Result{}, err
+	}
+	res := Fig11Result{Eps: cfg.Eps}
+	epsShift := epsToShift(cfg.Eps)
+	for di, m := range dataset.Catalog() {
+		data := loadData(cfg, m)
+		row := Fig11Row{Dataset: m.Name, ThresholdingCycles: 0}
+
+		for _, resampling := range []bool{false, true} {
+			box, err := dpbox.New(dpbox.Config{
+				Bu: rngBu, By: rngBy, Mult: cfg.Mult,
+				Source: urng.NewTaus88(cfg.Seed + uint64(di)),
+			})
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			if err := box.Initialize(math.MaxInt32, 0); err != nil {
+				return Fig11Result{}, err
+			}
+			lo, hi := gridBounds(m)
+			if err := box.Configure(epsShift, lo, hi); err != nil {
+				return Fig11Result{}, err
+			}
+			if resampling {
+				if err := box.SetResampling(true); err != nil {
+					return Fig11Result{}, err
+				}
+			}
+			var total uint64
+			var n int
+			step := m.Range() / (1 << sensorGridBits)
+			for _, x := range data {
+				xs := int64(math.Round(x / step))
+				r, err := box.NoiseValue(xs)
+				if err != nil {
+					return Fig11Result{}, fmt.Errorf("%s: %w", m.Name, err)
+				}
+				total += uint64(r.Cycles)
+				n++
+				if resampling && r.Resamples > row.MaxResamples {
+					row.MaxResamples = r.Resamples
+				}
+			}
+			avg := float64(total) / float64(n)
+			if resampling {
+				row.ResamplingCycles = avg
+			} else {
+				row.ThresholdingCycles = avg
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// gridBounds maps a dataset's range onto the sensor step grid.
+func gridBounds(m dataset.Meta) (lo, hi int64) {
+	step := m.Range() / (1 << sensorGridBits)
+	lo = int64(math.Round(m.Min / step))
+	return lo, lo + (1 << sensorGridBits)
+}
+
+// epsToShift returns n_m with ε = 2^-n_m; it panics if ε is not a
+// power of two (the DP-Box register constraint of eq. 19).
+func epsToShift(eps float64) int {
+	shift := -math.Log2(eps)
+	if shift != math.Trunc(shift) {
+		panic(fmt.Sprintf("experiments: ε=%g is not a power of two", eps))
+	}
+	return int(shift)
+}
+
+// Print renders the result.
+func (r Fig11Result) Print(w io.Writer) {
+	fprintf(w, "Figure 11: DP-Box latency per dataset (ε=%g; cycles per noised output)\n", r.Eps)
+	fprintf(w, "%-24s %12s %12s %13s\n", "dataset", "thresholding", "resampling", "max resamples")
+	for _, row := range r.Rows {
+		fprintf(w, "%-24s %12.3f %12.3f %13d\n",
+			row.Dataset, row.ThresholdingCycles, row.ResamplingCycles, row.MaxResamples)
+	}
+}
+
+// Fig12Result reproduces Fig. 12: output histograms of the DP-Box
+// with the guard disabled for two Statlog heart-rate values at ε = 1.
+// In the bulk the histograms overlap (a); in the tail there are
+// outputs only one value can produce (b) — the privacy failure.
+type Fig12Result struct {
+	// X1 and X2 are the two sensor values (steps).
+	X1, X2 int64
+	// Bins maps output step -> counts for each value.
+	Counts1, Counts2 map[int64]int
+	// Draws is the number of noised outputs per value.
+	Draws int
+	// ExclusiveOutputs counts outputs produced by exactly one of the
+	// two values across the run (the distinguishable region).
+	ExclusiveOutputs int
+	// ExampleExclusive is one such output (0 if none).
+	ExampleExclusive int64
+}
+
+// Figure12 runs the naive-mode DP-Box histogram experiment.
+func Figure12(cfg Config) (Fig12Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig12Result{}, err
+	}
+	m, err := dataset.ByName("Statlog (Heart)")
+	if err != nil {
+		return Fig12Result{}, err
+	}
+	// Two blood-pressure readings from opposite ends of the range.
+	step := m.Range() / (1 << sensorGridBits)
+	x1 := int64(math.Round(110 / step))
+	x2 := int64(math.Round(180 / step))
+
+	box, err := dpbox.New(dpbox.Config{
+		Bu: rngBu, By: rngBy, Mult: cfg.Mult, GuardDisabled: true,
+		Source: urng.NewTaus88(cfg.Seed),
+	})
+	if err != nil {
+		return Fig12Result{}, err
+	}
+	if err := box.Initialize(math.MaxInt32, 0); err != nil {
+		return Fig12Result{}, err
+	}
+	lo, hi := gridBounds(m)
+	if err := box.Configure(0, lo, hi); err != nil { // ε = 1 (Fig. 12)
+		return Fig12Result{}, err
+	}
+	draws := 200 * cfg.Trials
+	res := Fig12Result{
+		X1: x1, X2: x2, Draws: draws,
+		Counts1: map[int64]int{}, Counts2: map[int64]int{},
+	}
+	for i := 0; i < draws; i++ {
+		r1, err := box.NoiseValue(x1)
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		res.Counts1[r1.Value]++
+		r2, err := box.NoiseValue(x2)
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		res.Counts2[r2.Value]++
+	}
+	// Deterministic accounting: the example is the smallest exclusive
+	// output (map iteration order must not leak into the report).
+	haveExample := false
+	for y := range res.Counts1 {
+		if res.Counts2[y] == 0 {
+			res.ExclusiveOutputs++
+			if !haveExample || y < res.ExampleExclusive {
+				res.ExampleExclusive = y
+				haveExample = true
+			}
+		}
+	}
+	for y := range res.Counts2 {
+		if res.Counts1[y] == 0 {
+			res.ExclusiveOutputs++
+			if !haveExample || y < res.ExampleExclusive {
+				res.ExampleExclusive = y
+				haveExample = true
+			}
+		}
+	}
+	return res, nil
+}
+
+// Print renders the result.
+func (r Fig12Result) Print(w io.Writer) {
+	fprintf(w, "Figure 12: naive DP-Box output histograms (ε=1, no guard), %d draws per value\n", r.Draws)
+	fprintf(w, "x1=%d, x2=%d (steps); outputs producible by only one value: %d (e.g. %d)\n",
+		r.X1, r.X2, r.ExclusiveOutputs, r.ExampleExclusive)
+	fprintf(w, "histogram around the bulk (output: count1 count2):\n")
+	mid := (r.X1 + r.X2) / 2
+	for y := mid - 40; y <= mid+40; y += 8 {
+		fprintf(w, "%6d: %6d %6d\n", y, r.Counts1[y], r.Counts2[y])
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one exhibit and prints its rows/series.
+type Runner func(cfg Config, w io.Writer) error
+
+// printable is any exhibit result.
+type printable interface{ Print(io.Writer) }
+
+// typed adapts a typed experiment to the registry's common shape.
+func typed[T printable](f func(Config) (T, error)) func(Config) (printable, error) {
+	return func(cfg Config) (printable, error) {
+		r, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+// typedRegistry maps exhibit identifiers to result producers.
+var typedRegistry = map[string]func(Config) (printable, error){
+	"fig4":   typed(Figure4),
+	"fig6":   typed(Figure6),
+	"fig7":   typed(Figure7),
+	"fig8":   typed(Figure8),
+	"fig11":  typed(Figure11),
+	"fig12":  typed(Figure12),
+	"fig13":  typed(Figure13),
+	"fig14":  typed(Figure14),
+	"fig15":  typed(Figure15),
+	"table1": typed(TableI),
+	"table2": typed(TableII),
+	"table3": typed(TableIII),
+	"table4": typed(TableIV),
+	"table5": typed(TableV),
+	"table6": typed(TableVI),
+	"sec3d":  typed(SectionIIID),
+	"sec5":   typed(SectionV),
+	// Ablations and extensions (not paper exhibits; see ablations.go).
+	"ablate-rng":      typed(AblateRNG),
+	"ablate-charging": typed(AblateCharging),
+	"ablate-log":      typed(AblateLog),
+	"ablate-family":   typed(AblateFamily),
+	"ablate-float":    typed(AblateFloat),
+	"ext-rappor":      typed(ExtRappor),
+}
+
+// Registry maps exhibit identifiers to text runners.
+var Registry = func() map[string]Runner {
+	out := make(map[string]Runner, len(typedRegistry))
+	for name, f := range typedRegistry {
+		f := f
+		out[name] = func(cfg Config, w io.Writer) error {
+			r, err := f(cfg)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}
+	}
+	return out
+}()
+
+// RunJSON executes one exhibit and writes its result struct as
+// indented JSON — the machine-readable form of the same data the
+// text runner prints.
+func RunJSON(name string, cfg Config, w io.Writer) error {
+	f, ok := typedRegistry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown exhibit %q", name)
+	}
+	r, err := f(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Exhibit string `json:"exhibit"`
+		Result  any    `json:"result"`
+	}{Exhibit: name, Result: r})
+}
+
+// Names returns the registry keys in stable order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes every exhibit in order, separating them with
+// headers; it stops at the first error.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, name := range Names() {
+		fprintf(w, "==== %s ====\n", name)
+		if err := Registry[name](cfg, w); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fprintf(w, "\n")
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"io"
+
+	"ulpdp/internal/dpbox"
+	"ulpdp/internal/hwmodel"
+	"ulpdp/internal/msp430"
+	"ulpdp/internal/node"
+	"ulpdp/internal/urng"
+)
+
+// SectionIIIDResult reproduces the Section III-D software-vs-hardware
+// comparison: cycles to noise one sensor value in software (20-bit
+// fixed point and half precision, on the MSP430 emulator) against the
+// DP-Box (2 cycles, conservatively 4 with the MSP430's memory write
+// and read), plus the implied energy ratios.
+type SectionIIIDResult struct {
+	// FxPCycles and F16Cycles are the measured average software
+	// latencies (the paper's numbers are 4043 and 1436).
+	FxPCycles, F16Cycles float64
+	// HWCycles is the DP-Box transaction latency (thresholding).
+	HWCycles float64
+	// HWConservativeCycles adds the MSP430 write/read (the paper's
+	// conservative 4-cycle figure).
+	HWConservativeCycles float64
+	// EnergyRatioFxP and EnergyRatioF16 are software/hardware energy
+	// ratios at equal power draw (the paper reports 894x and 318x,
+	// noting the true hardware power is far below the MCU's — the
+	// ratio grows once that is accounted for).
+	EnergyRatioFxP, EnergyRatioF16 float64
+	// BudgetUpdateCycles is the software cost of Algorithm 1's
+	// per-request bookkeeping, which the paper's software latencies
+	// exclude; the DP-Box performs it in the same noising cycle.
+	BudgetUpdateCycles float64
+	// FirmwareCycles is the measured end-to-end cost of a noising
+	// transaction driven by real MSP430 firmware over the memory-
+	// mapped DP-Box (internal/node) — the empirical version of the
+	// paper's conservative 4-cycle assumption, including all MMIO
+	// writes and ready-polling.
+	FirmwareCycles float64
+}
+
+// SectionIIID runs both software routines and a DP-Box side by side.
+func SectionIIID(cfg Config) (SectionIIIDResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SectionIIIDResult{}, err
+	}
+	iters := 50 * cfg.Trials
+	avgSW := func(prec msp430.Precision) (float64, error) {
+		n, err := msp430.NewSoftNoiser(prec, cfg.Seed)
+		if err != nil {
+			return 0, err
+		}
+		var total uint64
+		for i := 0; i < iters; i++ {
+			_, cycles, err := n.Noise(100, 64, -3000, 3000)
+			if err != nil {
+				return 0, err
+			}
+			total += cycles
+		}
+		return float64(total) / float64(iters), nil
+	}
+	fxp, err := avgSW(msp430.FixedPoint20)
+	if err != nil {
+		return SectionIIIDResult{}, err
+	}
+	f16, err := avgSW(msp430.HalfPrecision)
+	if err != nil {
+		return SectionIIIDResult{}, err
+	}
+
+	box, err := dpbox.New(dpbox.Config{Bu: rngBu, By: rngBy, Mult: cfg.Mult, Source: urng.NewTaus88(cfg.Seed)})
+	if err != nil {
+		return SectionIIIDResult{}, err
+	}
+	if err := box.Initialize(1e9, 0); err != nil {
+		return SectionIIIDResult{}, err
+	}
+	if err := box.Configure(1, 0, 256); err != nil {
+		return SectionIIIDResult{}, err
+	}
+	var totalHW uint64
+	for i := 0; i < iters; i++ {
+		r, err := box.NoiseValue(100)
+		if err != nil {
+			return SectionIIIDResult{}, err
+		}
+		totalHW += uint64(r.Cycles)
+	}
+	hw := float64(totalHW) / float64(iters)
+	cons := hw + 2 // one MSP430 memory write + one read
+
+	// Software budget update (Algorithm 1 bookkeeping) over a spread
+	// of outputs.
+	bu, err := msp430.NewBudgetUpdater(60000, 50, 120, 8, 10, 16, 0, 256)
+	if err != nil {
+		return SectionIIIDResult{}, err
+	}
+	var buTotal uint64
+	buOutputs := []int16{-300, -60, 10, 128, 250, 290, 360, 1000}
+	for i := 0; i < iters; i++ {
+		_, cycles, err := bu.Update(buOutputs[i%len(buOutputs)])
+		if err != nil {
+			return SectionIIIDResult{}, err
+		}
+		buTotal += cycles
+	}
+
+	// Full-node measurement: real firmware driving the DP-Box over
+	// its register file.
+	fwBox, err := dpbox.New(dpbox.Config{Bu: rngBu, By: rngBy, Mult: cfg.Mult, Source: urng.NewTaus88(cfg.Seed + 7)})
+	if err != nil {
+		return SectionIIIDResult{}, err
+	}
+	if err := fwBox.Initialize(1e9, 0); err != nil {
+		return SectionIIIDResult{}, err
+	}
+	nd := node.New(fwBox, 0x0180)
+	drv, err := node.NewDriver(nd, 1, 0, 256)
+	if err != nil {
+		return SectionIIIDResult{}, err
+	}
+	if err := drv.Configure(); err != nil {
+		return SectionIIIDResult{}, err
+	}
+	var fwTotal uint64
+	for i := 0; i < iters; i++ {
+		_, cycles, err := drv.Noise(100)
+		if err != nil {
+			return SectionIIIDResult{}, err
+		}
+		fwTotal += cycles
+	}
+
+	return SectionIIIDResult{
+		FirmwareCycles:     float64(fwTotal) / float64(iters),
+		BudgetUpdateCycles: float64(buTotal) / float64(iters),
+		FxPCycles:          fxp, F16Cycles: f16,
+		HWCycles: hw, HWConservativeCycles: cons,
+		EnergyRatioFxP: fxp / cons, EnergyRatioF16: f16 / cons,
+	}, nil
+}
+
+// Print renders the result.
+func (r SectionIIIDResult) Print(w io.Writer) {
+	fprintf(w, "Section III-D: software vs hardware noising latency\n")
+	fprintf(w, "%-36s %10s\n", "implementation", "cycles")
+	fprintf(w, "%-36s %10.0f   (paper: 4043)\n", "MSP430 software, 20-bit fixed point", r.FxPCycles)
+	fprintf(w, "%-36s %10.0f   (paper: 1436)\n", "MSP430 software, half precision", r.F16Cycles)
+	fprintf(w, "%-36s %10.1f   (paper: 1-2)\n", "DP-Box (hardware)", r.HWCycles)
+	fprintf(w, "%-36s %10.1f   (paper: 4)\n", "DP-Box + MCU write/read", r.HWConservativeCycles)
+	fprintf(w, "%-36s %10.1f   (excluded from the paper's figures)\n",
+		"software budget update (Algorithm 1)", r.BudgetUpdateCycles)
+	fprintf(w, "%-36s %10.1f   (measured: MMIO writes + polling)\n",
+		"MSP430 firmware driving DP-Box", r.FirmwareCycles)
+	fprintf(w, "energy ratio (equal power): fixed point %.0fx, half precision %.0fx (paper: 894x, 318x)\n",
+		r.EnergyRatioFxP, r.EnergyRatioF16)
+}
+
+// SectionVVariant is one synthesized design point.
+type SectionVVariant struct {
+	Label  string
+	Config hwmodel.Config
+	Report hwmodel.Report
+}
+
+// SectionVResult reproduces the Section V synthesis exploration: the
+// published design point plus the latency/area trade-off variants
+// (pipelining, tighter timing, no budget logic).
+type SectionVResult struct {
+	Variants []SectionVVariant
+}
+
+// SectionV sweeps the synthesis model.
+func SectionV(cfg Config) (SectionVResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SectionVResult{}, err
+	}
+	base := hwmodel.Baseline
+	variants := []SectionVVariant{
+		{Label: "baseline (paper's point)", Config: base},
+	}
+	noBudget := base
+	noBudget.BudgetLogic = false
+	variants = append(variants, SectionVVariant{Label: "without budget logic", Config: noBudget})
+	tight := base
+	tight.TargetNs = 30
+	variants = append(variants, SectionVVariant{Label: "30 ns timing constraint", Config: tight})
+	for _, depth := range []int{2, 4} {
+		piped := base
+		piped.PipelineDepth = depth
+		variants = append(variants, SectionVVariant{
+			Label: "pipelined x" + string(rune('0'+depth)), Config: piped,
+		})
+	}
+	narrow := base
+	narrow.Width = 16
+	variants = append(variants, SectionVVariant{Label: "16-bit datapath", Config: narrow})
+
+	var res SectionVResult
+	for _, v := range variants {
+		rep, err := hwmodel.Synthesize(v.Config, 16)
+		if err != nil {
+			return SectionVResult{}, err
+		}
+		v.Report = rep
+		res.Variants = append(res.Variants, v)
+	}
+	return res, nil
+}
+
+// Print renders the result.
+func (r SectionVResult) Print(w io.Writer) {
+	fprintf(w, "Section V: DP-Box synthesis variants (65 nm, 16 MHz)\n")
+	fprintf(w, "%-28s %8s %10s %9s %8s %6s\n", "variant", "gates", "crit (ns)", "fmax MHz", "power µW", "met?")
+	for _, v := range r.Variants {
+		met := "yes"
+		if !v.Report.MeetsTarget {
+			met = "no"
+		}
+		fprintf(w, "%-28s %8d %10.2f %9.1f %8.1f %6s\n",
+			v.Label, v.Report.Gates, v.Report.CritPathNs, v.Report.FMaxMHz, v.Report.PowerUW, met)
+	}
+	fprintf(w, "(paper's published point: 10431 gates, 58.66 ns, 158.3 µW; budget logic = 11%% of area)\n")
+}

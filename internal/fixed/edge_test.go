@@ -1,0 +1,150 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCmpOrdering(t *testing.T) {
+	f := Q(4, 4)
+	a := FromFloat(1.5, f, RoundNearestAway)
+	b := FromFloat(-2.25, f, RoundNearestAway)
+	if a.Cmp(b) != 1 || b.Cmp(a) != -1 || a.Cmp(a) != 0 {
+		t.Error("Cmp ordering wrong")
+	}
+	if a.Format() != f {
+		t.Error("Format accessor")
+	}
+}
+
+func TestAbsPositiveIsIdentity(t *testing.T) {
+	f := Q(4, 4)
+	n := FromFloat(3.25, f, RoundNearestAway)
+	if n.Abs() != n {
+		t.Error("Abs of positive changed value")
+	}
+	if n.Sign() != 1 {
+		t.Error("Sign of positive")
+	}
+}
+
+func TestRoundModeStringsAll(t *testing.T) {
+	for m, want := range map[RoundMode]string{
+		RoundNearestAway: "nearest-away",
+		RoundDown:        "down",
+		RoundUp:          "up",
+		RoundZero:        "zero",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("String(%d) = %q", int(m), got)
+		}
+	}
+}
+
+func TestConvertDownModes(t *testing.T) {
+	src := Q(6, 6)
+	dst := Q(6, 2)
+	// 1.171875 = 75/64: in dst steps (0.25) it is 4.6875 steps.
+	n := FromFloat(75.0/64, src, RoundNearestAway)
+	tests := []struct {
+		m    RoundMode
+		want float64
+	}{
+		{RoundNearestAway, 1.25},
+		{RoundNearestEven, 1.25},
+		{RoundDown, 1.0},
+		{RoundUp, 1.25},
+		{RoundZero, 1.0},
+	}
+	for _, tt := range tests {
+		if got := n.Convert(dst, tt.m).Float(); got != tt.want {
+			t.Errorf("convert(%v) = %g, want %g", tt.m, got, tt.want)
+		}
+	}
+	// Negative value, direction-sensitive modes.
+	neg := n.Neg()
+	if got := neg.Convert(dst, RoundDown).Float(); got != -1.25 {
+		t.Errorf("neg convert down = %g", got)
+	}
+	if got := neg.Convert(dst, RoundUp).Float(); got != -1.0 {
+		t.Errorf("neg convert up = %g", got)
+	}
+	if got := neg.Convert(dst, RoundZero).Float(); got != -1.0 {
+		t.Errorf("neg convert zero = %g", got)
+	}
+}
+
+func TestConvertTieToEven(t *testing.T) {
+	src := Q(6, 4)
+	dst := Q(6, 1)
+	// 1.25 = 2.5 steps of 0.5: tie.
+	n := FromFloat(1.25, src, RoundNearestAway)
+	if got := n.Convert(dst, RoundNearestEven).Float(); got != 1.0 {
+		t.Errorf("tie-to-even = %g, want 1.0 (even step)", got)
+	}
+	if got := n.Convert(dst, RoundNearestAway).Float(); got != 1.5 {
+		t.Errorf("tie-away = %g, want 1.5", got)
+	}
+	// 1.75 = 3.5 steps: even neighbour is 4 steps = 2.0.
+	m := FromFloat(1.75, src, RoundNearestAway)
+	if got := m.Convert(dst, RoundNearestEven).Float(); got != 2.0 {
+		t.Errorf("tie-to-even (odd base) = %g, want 2.0", got)
+	}
+	// Negative ties.
+	if got := n.Neg().Convert(dst, RoundNearestEven).Float(); got != -1.0 {
+		t.Errorf("neg tie-to-even = %g, want -1.0", got)
+	}
+	if got := n.Neg().Convert(dst, RoundNearestAway).Float(); got != -1.5 {
+		t.Errorf("neg tie-away = %g, want -1.5", got)
+	}
+}
+
+func TestShrLargeCounts(t *testing.T) {
+	f := Q(10, 4)
+	n := FromFloat(100, f, RoundNearestAway)
+	// Shifting beyond the word: result collapses per mode.
+	if got := n.Shr(70, RoundZero).Float(); got != 0 {
+		t.Errorf("shr 70 zero = %g", got)
+	}
+	if got := n.Shr(70, RoundUp).Float(); got != f.Step() {
+		t.Errorf("shr 70 up = %g, want one step", got)
+	}
+	if got := n.Neg().Shr(70, RoundDown).Float(); got != -f.Step() {
+		t.Errorf("neg shr 70 down = %g", got)
+	}
+	if got := n.Neg().Shr(70, RoundZero).Float(); got != 0 {
+		t.Errorf("neg shr 70 zero = %g", got)
+	}
+	if got := n.Shr(70, RoundNearestAway).Float(); got != 0 {
+		t.Errorf("shr 70 nearest = %g", got)
+	}
+}
+
+func TestConvertSameFormatIsIdentity(t *testing.T) {
+	f := Q(5, 5)
+	n := FromFloat(2.71875, f, RoundNearestAway)
+	if n.Convert(f, RoundZero) != n {
+		t.Error("same-format convert changed value")
+	}
+}
+
+func TestConvertUpOverflowSaturates(t *testing.T) {
+	// Widening the fraction while narrowing the total width must
+	// saturate, not wrap.
+	src := Q(20, 2)
+	dst := Q(2, 20)
+	big := FromFloat(1000, src, RoundNearestAway)
+	if got := big.Convert(dst, RoundNearestAway); got.Raw() != dst.MaxRaw() {
+		t.Errorf("overflowing widen = %v, want saturation", got)
+	}
+	if got := big.Neg().Convert(dst, RoundNearestAway); got.Raw() != dst.MinRaw() {
+		t.Errorf("negative overflowing widen = %v", got)
+	}
+}
+
+func TestFromFloatNegInf(t *testing.T) {
+	f := Q(3, 3)
+	if got := FromFloat(math.Inf(-1), f, RoundZero); got.Raw() != f.MinRaw() {
+		t.Errorf("-inf = %v", got)
+	}
+}

@@ -1,0 +1,121 @@
+// Package fixed implements signed two's-complement fixed-point
+// arithmetic in the Q notation used by ultra-low-power hardware.
+//
+// A Format describes a word: its total width in bits and how many of
+// those bits sit to the right of the binary point. A Num is a value in
+// a particular Format. All arithmetic is exact where the format
+// permits and otherwise behaves like hardware: results are rounded
+// with an explicit RoundMode and saturate (or wrap, if requested) at
+// the representable range.
+//
+// The package is the substrate for the DP-Box datapath model: the
+// uniform random numbers, the CORDIC logarithm, the Laplace samples
+// and the noised sensor outputs are all Nums.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxWidth is the widest word the package supports. Internal
+// arithmetic is carried in int64, so products of two MaxWidth-bit
+// values still fit when widened.
+const MaxWidth = 31
+
+// Format describes a signed fixed-point word: Width total bits
+// (including the sign bit) of which Frac are fractional.
+type Format struct {
+	Width int // total bits, including sign; 2..MaxWidth
+	Frac  int // fractional bits; 0..Width-1
+}
+
+// Q returns the Format with i integer bits (excluding sign) and f
+// fractional bits, i.e. the Q(i.f) format of width 1+i+f.
+func Q(i, f int) Format { return Format{Width: 1 + i + f, Frac: f} }
+
+// Validate reports whether the format is usable.
+func (f Format) Validate() error {
+	if f.Width < 2 || f.Width > MaxWidth {
+		return fmt.Errorf("fixed: width %d out of range [2,%d]", f.Width, MaxWidth)
+	}
+	if f.Frac < 0 || f.Frac >= f.Width {
+		return fmt.Errorf("fixed: %d fractional bits invalid for width %d", f.Frac, f.Width)
+	}
+	return nil
+}
+
+// IntBits returns the number of integer (magnitude) bits.
+func (f Format) IntBits() int { return f.Width - 1 - f.Frac }
+
+// Step returns the quantization step 2^-Frac as a float64.
+func (f Format) Step() float64 { return math.Ldexp(1, -f.Frac) }
+
+// MaxRaw returns the largest representable raw integer, 2^(Width-1)-1.
+func (f Format) MaxRaw() int64 { return int64(1)<<(f.Width-1) - 1 }
+
+// MinRaw returns the smallest representable raw integer, -2^(Width-1).
+func (f Format) MinRaw() int64 { return -(int64(1) << (f.Width - 1)) }
+
+// MaxValue returns the largest representable value as a float64.
+func (f Format) MaxValue() float64 { return float64(f.MaxRaw()) * f.Step() }
+
+// MinValue returns the smallest (most negative) representable value.
+func (f Format) MinValue() float64 { return float64(f.MinRaw()) * f.Step() }
+
+// String implements fmt.Stringer, e.g. "Q4.15/20".
+func (f Format) String() string {
+	return fmt.Sprintf("Q%d.%d/%d", f.IntBits(), f.Frac, f.Width)
+}
+
+// RoundMode selects how out-of-grid values are mapped onto the grid.
+type RoundMode int
+
+const (
+	// RoundNearestAway rounds to the nearest grid point, ties away
+	// from zero. This matches the "round to nearest value" behaviour
+	// the paper assumes for the FxP RNG output stage.
+	RoundNearestAway RoundMode = iota
+	// RoundNearestEven rounds to nearest, ties to even (IEEE style).
+	RoundNearestEven
+	// RoundDown rounds toward negative infinity (floor).
+	RoundDown
+	// RoundUp rounds toward positive infinity (ceil).
+	RoundUp
+	// RoundZero truncates toward zero, the cheapest in hardware.
+	RoundZero
+)
+
+// String implements fmt.Stringer.
+func (m RoundMode) String() string {
+	switch m {
+	case RoundNearestAway:
+		return "nearest-away"
+	case RoundNearestEven:
+		return "nearest-even"
+	case RoundDown:
+		return "down"
+	case RoundUp:
+		return "up"
+	case RoundZero:
+		return "zero"
+	}
+	return fmt.Sprintf("RoundMode(%d)", int(m))
+}
+
+// roundScaled rounds the real number x to an integer according to m.
+func roundScaled(x float64, m RoundMode) float64 {
+	switch m {
+	case RoundNearestAway:
+		return math.Round(x)
+	case RoundNearestEven:
+		return math.RoundToEven(x)
+	case RoundDown:
+		return math.Floor(x)
+	case RoundUp:
+		return math.Ceil(x)
+	case RoundZero:
+		return math.Trunc(x)
+	}
+	return math.Round(x)
+}

@@ -1,0 +1,303 @@
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Num is a value in a fixed-point Format. The zero Num is the value 0
+// in the degenerate zero Format and is not usable for arithmetic;
+// construct Nums with FromRaw, FromFloat or FromInt.
+type Num struct {
+	raw int64
+	fmt Format
+}
+
+// FromRaw builds a Num from a raw integer, saturating to the format's
+// range.
+func FromRaw(raw int64, f Format) Num {
+	return Num{raw: clampRaw(raw, f), fmt: f}
+}
+
+// FromFloat quantizes x onto f's grid with rounding mode m,
+// saturating at the representable range. NaN maps to zero.
+func FromFloat(x float64, f Format, m RoundMode) Num {
+	if math.IsNaN(x) {
+		return Num{fmt: f}
+	}
+	scaled := roundScaled(math.Ldexp(x, f.Frac), m)
+	if scaled > float64(f.MaxRaw()) {
+		return Num{raw: f.MaxRaw(), fmt: f}
+	}
+	if scaled < float64(f.MinRaw()) {
+		return Num{raw: f.MinRaw(), fmt: f}
+	}
+	return Num{raw: int64(scaled), fmt: f}
+}
+
+// FromInt builds the Num representing the integer v, saturating.
+func FromInt(v int64, f Format) Num {
+	if shiftWouldOverflow(v, f) {
+		if v > 0 {
+			return Num{raw: f.MaxRaw(), fmt: f}
+		}
+		return Num{raw: f.MinRaw(), fmt: f}
+	}
+	return Num{raw: v << uint(f.Frac), fmt: f}
+}
+
+func shiftWouldOverflow(v int64, f Format) bool {
+	shifted := v << uint(f.Frac)
+	return shifted>>uint(f.Frac) != v || shifted > f.MaxRaw() || shifted < f.MinRaw()
+}
+
+func clampRaw(raw int64, f Format) int64 {
+	if raw > f.MaxRaw() {
+		return f.MaxRaw()
+	}
+	if raw < f.MinRaw() {
+		return f.MinRaw()
+	}
+	return raw
+}
+
+// Raw returns the underlying integer representation.
+func (n Num) Raw() int64 { return n.raw }
+
+// Format returns the Num's format.
+func (n Num) Format() Format { return n.fmt }
+
+// Float returns the value as a float64. Exact for Width <= 53.
+func (n Num) Float() float64 { return math.Ldexp(float64(n.raw), -n.fmt.Frac) }
+
+// Int returns the value truncated toward zero to an integer.
+func (n Num) Int() int64 {
+	if n.raw >= 0 {
+		return n.raw >> uint(n.fmt.Frac)
+	}
+	return -((-n.raw) >> uint(n.fmt.Frac))
+}
+
+// IsZero reports whether the value is exactly zero.
+func (n Num) IsZero() bool { return n.raw == 0 }
+
+// Sign returns -1, 0 or +1.
+func (n Num) Sign() int {
+	switch {
+	case n.raw < 0:
+		return -1
+	case n.raw > 0:
+		return 1
+	}
+	return 0
+}
+
+// Neg returns -n, saturating (the minimum raw value has no negation).
+func (n Num) Neg() Num { return Num{raw: clampRaw(-n.raw, n.fmt), fmt: n.fmt} }
+
+// Abs returns |n|, saturating.
+func (n Num) Abs() Num {
+	if n.raw < 0 {
+		return n.Neg()
+	}
+	return n
+}
+
+// Cmp compares two Nums of the same format: -1 if n < o, 0 if equal,
+// +1 if n > o. It panics on format mismatch, which always indicates a
+// wiring bug in the datapath model.
+func (n Num) Cmp(o Num) int {
+	mustSameFormat(n, o)
+	switch {
+	case n.raw < o.raw:
+		return -1
+	case n.raw > o.raw:
+		return 1
+	}
+	return 0
+}
+
+func mustSameFormat(a, b Num) {
+	if a.fmt != b.fmt {
+		panic(fmt.Sprintf("fixed: format mismatch %v vs %v", a.fmt, b.fmt))
+	}
+}
+
+// Add returns n+o with saturation. Formats must match.
+func (n Num) Add(o Num) Num {
+	mustSameFormat(n, o)
+	return Num{raw: clampRaw(n.raw+o.raw, n.fmt), fmt: n.fmt}
+}
+
+// Sub returns n-o with saturation. Formats must match.
+func (n Num) Sub(o Num) Num {
+	mustSameFormat(n, o)
+	return Num{raw: clampRaw(n.raw-o.raw, n.fmt), fmt: n.fmt}
+}
+
+// Mul returns n*o rounded with mode m and saturated, in n's format.
+// The intermediate product is exact (both operands are <= MaxWidth
+// bits so the int64 product cannot overflow).
+func (n Num) Mul(o Num, m RoundMode) Num {
+	mustSameFormat(n, o)
+	prod := n.raw * o.raw // value = prod * 2^(-2*Frac)
+	return Num{raw: clampRaw(rshiftRound(prod, n.fmt.Frac, m), n.fmt), fmt: n.fmt}
+}
+
+// Div returns n/o rounded with mode m and saturated, in n's format.
+// Division by zero saturates to the sign of n (hardware dividers
+// typically flag this; the DP-Box never divides by zero by design).
+func (n Num) Div(o Num, m RoundMode) Num {
+	mustSameFormat(n, o)
+	if o.raw == 0 {
+		if n.raw >= 0 {
+			return Num{raw: n.fmt.MaxRaw(), fmt: n.fmt}
+		}
+		return Num{raw: n.fmt.MinRaw(), fmt: n.fmt}
+	}
+	// value = (n.raw / o.raw); to keep Frac fractional bits compute
+	// (n.raw << Frac) / o.raw with rounding.
+	num := n.raw << uint(n.fmt.Frac)
+	q := divRound(num, o.raw, m)
+	return Num{raw: clampRaw(q, n.fmt), fmt: n.fmt}
+}
+
+// Shl returns n << k (multiply by 2^k), saturating.
+func (n Num) Shl(k int) Num {
+	if k < 0 {
+		return n.Shr(-k, RoundZero)
+	}
+	raw := n.raw
+	for i := 0; i < k; i++ {
+		raw <<= 1
+		if raw > n.fmt.MaxRaw() {
+			return Num{raw: n.fmt.MaxRaw(), fmt: n.fmt}
+		}
+		if raw < n.fmt.MinRaw() {
+			return Num{raw: n.fmt.MinRaw(), fmt: n.fmt}
+		}
+	}
+	return Num{raw: raw, fmt: n.fmt}
+}
+
+// Shr returns n >> k (divide by 2^k) with rounding mode m.
+func (n Num) Shr(k int, m RoundMode) Num {
+	if k < 0 {
+		return n.Shl(-k)
+	}
+	return Num{raw: clampRaw(rshiftRound(n.raw, k, m), n.fmt), fmt: n.fmt}
+}
+
+// Convert re-quantizes n into format f with rounding mode m,
+// saturating.
+func (n Num) Convert(f Format, m RoundMode) Num {
+	if f == n.fmt {
+		return n
+	}
+	shift := f.Frac - n.fmt.Frac
+	var raw int64
+	if shift >= 0 {
+		if shift >= 63 {
+			raw = 0
+		} else {
+			raw = n.raw << uint(shift)
+			if raw>>uint(shift) != n.raw { // overflow in the shift
+				if n.raw > 0 {
+					raw = f.MaxRaw() + 1 // force saturation below
+				} else {
+					raw = f.MinRaw() - 1
+				}
+			}
+		}
+	} else {
+		raw = rshiftRound(n.raw, -shift, m)
+	}
+	return Num{raw: clampRaw(raw, f), fmt: f}
+}
+
+// String implements fmt.Stringer.
+func (n Num) String() string {
+	return fmt.Sprintf("%g[%v]", n.Float(), n.fmt)
+}
+
+// rshiftRound computes round(v / 2^k) under mode m, exactly.
+func rshiftRound(v int64, k int, m RoundMode) int64 {
+	if k <= 0 {
+		return v << uint(-k)
+	}
+	if k >= 63 {
+		// Degenerate: the quotient magnitude is < 1 for any int64.
+		switch m {
+		case RoundDown:
+			if v < 0 {
+				return -1
+			}
+			return 0
+		case RoundUp:
+			if v > 0 {
+				return 1
+			}
+			return 0
+		default:
+			return 0
+		}
+	}
+	div := int64(1) << uint(k)
+	return divRound(v, div, m)
+}
+
+// divRound computes round(a/b) under mode m, exactly, for b != 0.
+func divRound(a, b int64, m RoundMode) int64 {
+	q := a / b
+	r := a % b
+	if r == 0 {
+		return q
+	}
+	neg := (a < 0) != (b < 0)
+	switch m {
+	case RoundZero:
+		return q
+	case RoundDown:
+		if neg {
+			return q - 1
+		}
+		return q
+	case RoundUp:
+		if neg {
+			return q
+		}
+		return q + 1
+	case RoundNearestAway, RoundNearestEven:
+		// Compare |2r| against |b|.
+		r2 := r
+		if r2 < 0 {
+			r2 = -r2
+		}
+		babs := b
+		if babs < 0 {
+			babs = -babs
+		}
+		twice := 2 * r2
+		if twice > babs || (twice == babs && m == RoundNearestAway) {
+			if neg {
+				return q - 1
+			}
+			return q + 1
+		}
+		if twice == babs && m == RoundNearestEven {
+			// Tie: choose the even neighbour.
+			lo, hi := q, q
+			if neg {
+				lo = q - 1
+			} else {
+				hi = q + 1
+			}
+			if lo%2 == 0 {
+				return lo
+			}
+			return hi
+		}
+		return q
+	}
+	return q
+}

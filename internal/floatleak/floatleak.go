@@ -1,0 +1,131 @@
+// Package floatleak demonstrates the floating-point half of the
+// paper's Section III-A4 generalization: a textbook software Laplace
+// mechanism using float64 arithmetic (the Mironov attack, the paper's
+// reference [27]) leaks through the *irregular gaps* of the floating-
+// point grid — some observed outputs are producible from one secret
+// input but from no uniform draw at another, identifying the input
+// exactly, just like the fixed-point tail holes.
+//
+// The attack here is constructive: Producible decides by inverting
+// the mechanism over the float grid whether a given output can be
+// generated from a given input at all, and RevealRate measures how
+// often a real output betrays its input against an alternative.
+package floatleak
+
+import (
+	"math"
+
+	"ulpdp/internal/urng"
+)
+
+// Mechanism is the naive software Laplace mechanism: y = x ± λ·ln(1/u)
+// with u drawn uniformly from the float64 grid in (0, 1], every
+// operation in double precision — exactly what a careless
+// implementation computes.
+type Mechanism struct {
+	// X is the private value.
+	X float64
+	// Lambda is the Laplace scale.
+	Lambda float64
+	src    *urng.SplitMix64
+}
+
+// NewMechanism builds the naive mechanism. It panics on a
+// non-positive scale.
+func NewMechanism(x, lambda float64, seed uint64) *Mechanism {
+	if !(lambda > 0) {
+		panic("floatleak: non-positive scale")
+	}
+	return &Mechanism{X: x, Lambda: lambda, src: urng.NewSplitMix64(seed)}
+}
+
+// Noise draws one report.
+func (m *Mechanism) Noise() float64 {
+	u := m.uniform()
+	y := forward(m.X, m.Lambda, u, m.src.Uint64()&1 == 1)
+	return y
+}
+
+// uniform draws u in (0, 1] on the standard 2^-53 grid.
+func (m *Mechanism) uniform() float64 {
+	for {
+		u := float64(m.src.Uint64()>>11+1) / (1 << 53)
+		if u > 0 && u <= 1 {
+			return u
+		}
+	}
+}
+
+// forward is the deterministic datapath: y = fl(x ± fl(λ·fl(ln u))).
+func forward(x, lambda, u float64, negative bool) float64 {
+	n := lambda * math.Log(u)
+	if !negative {
+		n = -n
+	}
+	return x + n
+}
+
+// Producible reports whether output y is reachable from input x: is
+// there ANY grid point u ∈ (0, 1] and sign for which forward(x, λ, u)
+// rounds to exactly y? The search exploits that forward is monotone
+// in u per sign branch (composition of correctly-rounded monotone
+// operations), bisecting to the candidate region and then scanning
+// the few neighbouring grid points.
+func Producible(y, x, lambda float64) bool {
+	return producibleBranch(y, x, lambda, false) || producibleBranch(y, x, lambda, true)
+}
+
+func producibleBranch(y, x, lambda float64, negative bool) bool {
+	// Positive branch is non-increasing in u (noise −λ·ln u ↓ 0);
+	// negative branch is non-decreasing. Bisect on the u grid.
+	lo, hi := uint64(1), uint64(1)<<53 // u = k / 2^53
+	f := func(k uint64) float64 {
+		return forward(x, lambda, float64(k)/(1<<53), negative)
+	}
+	target := y
+	increasing := negative
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		v := f(mid)
+		switch {
+		case v == target:
+			return true
+		case (v < target) == increasing:
+			lo = mid + 1
+		default:
+			if mid == 0 {
+				return false
+			}
+			hi = mid
+		}
+	}
+	// Scan a small neighbourhood: monotonicity of float compositions
+	// is non-strict, so plateaus can hide the target next door.
+	const span = 64
+	start := int64(lo) - span
+	if start < 1 {
+		start = 1
+	}
+	for k := start; k <= int64(lo)+span && k <= 1<<53; k++ {
+		if f(uint64(k)) == target {
+			return true
+		}
+	}
+	return false
+}
+
+// RevealRate draws n reports from x1 and returns the fraction whose
+// output is not producible from x2 — each such report identifies the
+// secret as x1 with certainty. A correct ε-DP mechanism would have
+// rate exactly 0.
+func RevealRate(x1, x2, lambda float64, n int, seed uint64) float64 {
+	m := NewMechanism(x1, lambda, seed)
+	revealed := 0
+	for i := 0; i < n; i++ {
+		y := m.Noise()
+		if !Producible(y, x2, lambda) {
+			revealed++
+		}
+	}
+	return float64(revealed) / float64(n)
+}

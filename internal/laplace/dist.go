@@ -1,0 +1,139 @@
+package laplace
+
+import "math"
+
+// Dist is the exact output distribution of the fixed-point Laplace
+// RNG — the closed form of eq. 11. All probabilities are exact
+// rationals count/2^(B_u+1) evaluated in float64 (counts are below
+// 2^30 so the division is exact).
+//
+// With c = B_u·ln2 and a = Δ/λ, the URNG draw m maps to magnitude
+// step k iff m ∈ (m2(k), m1(k)] where m1(k) = exp(c − a(k−½)),
+// m2(k) = exp(c − a(k+½)); the integer count in that interval is
+// ⌊m1⌋ − ⌊m2⌋. The saturation step KCap additionally absorbs every
+// draw whose raw magnitude exceeds the output word.
+type Dist struct {
+	par FxPParams
+}
+
+// NewDist returns the exact distribution of the RNG with parameters
+// par. It panics on invalid parameters.
+func NewDist(par FxPParams) Dist {
+	if err := par.Validate(); err != nil {
+		panic(err)
+	}
+	return Dist{par: par}
+}
+
+// Params returns the distribution's parameters.
+func (d Dist) Params() FxPParams { return d.par }
+
+// a returns Δ/λ, the grid step expressed in units of the scale.
+func (d Dist) a() float64 { return d.par.Delta / d.par.Lambda }
+
+// c returns B_u·ln2.
+func (d Dist) c() float64 { return float64(d.par.Bu) * math.Ln2 }
+
+// floorM1 returns ⌊m1(k)⌋ clipped to [0, 2^B_u]: the number of draws
+// whose raw (pre-saturation) magnitude rounds to step k or higher.
+func (d Dist) floorM1(k int64) float64 {
+	e := d.c() - d.a()*(float64(k)-0.5)
+	m1 := math.Exp(e)
+	cap := math.Ldexp(1, d.par.Bu)
+	if m1 >= cap {
+		return cap
+	}
+	return math.Floor(m1)
+}
+
+// CountMag returns the exact number of URNG draws m whose output
+// magnitude is k steps, including the mass the saturation cap
+// absorbs at k = KCap.
+func (d Dist) CountMag(k int64) float64 {
+	if k < 0 || k > d.par.KCap() {
+		return 0
+	}
+	if k == d.par.KCap() {
+		// Everything at or beyond the cap's lower rounding boundary.
+		return d.floorM1(k)
+	}
+	return d.floorM1(k) - d.floorM1(k+1)
+}
+
+// ProbMag returns Pr[|n| = kΔ before sign] = CountMag(k)/2^B_u.
+func (d Dist) ProbMag(k int64) float64 {
+	return d.CountMag(k) * math.Ldexp(1, -d.par.Bu)
+}
+
+// Prob returns Pr[n = kΔ] for signed k. The sign bit splits each
+// non-zero magnitude in half; k = 0 keeps its full mass.
+func (d Dist) Prob(k int64) float64 {
+	mag := k
+	if mag < 0 {
+		mag = -mag
+	}
+	p := d.ProbMag(mag)
+	if k == 0 {
+		return p
+	}
+	return p / 2
+}
+
+// TailMag returns Pr[|n| >= kΔ] for k >= 1 — the quantity the
+// thresholding analysis bounds (⌊m1(k)⌋/2^B_u on magnitudes).
+func (d Dist) TailMag(k int64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > d.par.KCap() {
+		return 0
+	}
+	return d.floorM1(k) * math.Ldexp(1, -d.par.Bu)
+}
+
+// MaxK returns the largest magnitude step with non-zero probability.
+func (d Dist) MaxK() int64 {
+	k := d.par.MaxK()
+	// Walk down past any zero-probability fringe produced by
+	// rounding at the extreme tail.
+	for k > 0 && d.CountMag(k) == 0 {
+		k--
+	}
+	return k
+}
+
+// PMF materializes the signed probability mass function over
+// k = -MaxK .. +MaxK. The slice index i corresponds to k = i - MaxK.
+func (d Dist) PMF() ([]float64, int64) {
+	maxK := d.MaxK()
+	pmf := make([]float64, 2*maxK+1)
+	for k := -maxK; k <= maxK; k++ {
+		pmf[k+maxK] = d.Prob(k)
+	}
+	return pmf, maxK
+}
+
+// FirstZeroHole returns the smallest positive k <= MaxK() whose
+// probability is zero while some k' > k has non-zero probability —
+// the "holes" in the tail of Fig. 4(b) that make naive FxP noising
+// unable to guarantee DP. The boolean reports whether a hole exists.
+func (d Dist) FirstZeroHole() (int64, bool) {
+	maxK := d.MaxK()
+	for k := int64(1); k < maxK; k++ {
+		if d.CountMag(k) == 0 {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// TotalMass sums the full signed PMF; exactly 1 by construction, the
+// tests assert it to guard the closed form.
+func (d Dist) TotalMass() float64 {
+	total := 0.0
+	maxK := d.par.KCap()
+	for k := int64(0); k <= maxK; k++ {
+		total += d.ProbMag(k)
+	}
+	return total
+}

@@ -1,0 +1,470 @@
+package msp430
+
+import (
+	"testing"
+)
+
+// run assembles the program at 0x4000, loads it, and calls the entry
+// label, returning the CPU and cycle count.
+func run(t *testing.T, build func(p *Program), entry string) (*CPU, uint64) {
+	t.Helper()
+	p := NewProgram(0x4000)
+	build(p)
+	words, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := p.LabelAddr(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.LoadWords(p.Org(), words)
+	cycles, err := c.Call(addr, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, cycles
+}
+
+func TestMovImmediate(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0x1234), Reg(4))
+		p.Ret()
+	}, "main")
+	if c.R[4] != 0x1234 {
+		t.Errorf("R4 = %04x", c.R[4])
+	}
+}
+
+func TestConstantGenerators(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0), Reg(4))
+		p.Mov(Imm(1), Reg(5))
+		p.Mov(Imm(2), Reg(6))
+		p.Mov(Imm(4), Reg(7))
+		p.Mov(Imm(8), Reg(8))
+		p.Mov(Imm(-1), Reg(9))
+		p.Ret()
+	}, "main")
+	want := []uint16{0, 1, 2, 4, 8, 0xFFFF}
+	for i, w := range want {
+		if c.R[4+i] != w {
+			t.Errorf("R%d = %04x, want %04x", 4+i, c.R[4+i], w)
+		}
+	}
+}
+
+func TestConstantGeneratorSavesWordsAndCycles(t *testing.T) {
+	// MOV #1, R4 via CG is one word, one cycle; MOV #1234h, R4 is two
+	// words, two cycles.
+	p := NewProgram(0x4000)
+	p.Mov(Imm(1), Reg(4))
+	w1, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1) != 1 {
+		t.Errorf("CG MOV = %d words, want 1", len(w1))
+	}
+	p2 := NewProgram(0x4000)
+	p2.Mov(Imm(0x1234), Reg(4))
+	w2, err := p2.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2) != 2 {
+		t.Errorf("immediate MOV = %d words, want 2", len(w2))
+	}
+}
+
+func TestAddSubFlags(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0x7FFF), Reg(4))
+		p.Add(Imm(1), Reg(4)) // overflow: 0x8000, V set, N set
+		p.Ret()
+	}, "main")
+	if c.R[4] != 0x8000 {
+		t.Errorf("R4 = %04x", c.R[4])
+	}
+	if !c.flag(FlagV) || !c.flag(FlagN) || c.flag(FlagZ) || c.flag(FlagC) {
+		t.Errorf("flags = %04x", c.R[SR])
+	}
+}
+
+func TestSubSetsCarryAsNotBorrow(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(5), Reg(4))
+		p.Sub(Imm(3), Reg(4)) // 5-3: no borrow -> C=1
+		p.Ret()
+	}, "main")
+	if c.R[4] != 2 || !c.flag(FlagC) {
+		t.Errorf("R4 = %04x, C = %v", c.R[4], c.flag(FlagC))
+	}
+	c2, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(3), Reg(4))
+		p.Sub(Imm(5), Reg(4)) // borrow -> C=0
+		p.Ret()
+	}, "main")
+	if c2.R[4] != 0xFFFE || c2.flag(FlagC) {
+		t.Errorf("R4 = %04x, C = %v", c2.R[4], c2.flag(FlagC))
+	}
+}
+
+func TestCmpDoesNotWrite(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(7), Reg(4))
+		p.Cmp(Imm(7), Reg(4))
+		p.Ret()
+	}, "main")
+	if c.R[4] != 7 {
+		t.Errorf("CMP modified dst: %04x", c.R[4])
+	}
+	if !c.flag(FlagZ) {
+		t.Error("CMP equal should set Z")
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0xF0F0), Reg(4))
+		p.And(Imm(0xFF00), Reg(4)) // F000
+		p.Mov(Imm(0x00FF), Reg(5))
+		p.Bis(Imm(0x0F00), Reg(5)) // 0FFF
+		p.Mov(Imm(0xFFFF), Reg(6))
+		p.Bic(Imm(0x00FF), Reg(6)) // FF00
+		p.Mov(Imm(0xAAAA), Reg(7))
+		p.Xor(Imm(0xFFFF), Reg(7)) // 5555
+		p.Ret()
+	}, "main")
+	if c.R[4] != 0xF000 || c.R[5] != 0x0FFF || c.R[6] != 0xFF00 || c.R[7] != 0x5555 {
+		t.Errorf("R4=%04x R5=%04x R6=%04x R7=%04x", c.R[4], c.R[5], c.R[6], c.R[7])
+	}
+}
+
+func TestShiftsAndRotates(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0x8003), Reg(4))
+		p.Rra(Reg(4)) // arithmetic: 0xC001, C=1
+		p.Mov(Imm(0x0001), Reg(5))
+		p.Rrc(Reg(5)) // C was 1 -> 0x8000, C=1
+		p.Mov(Imm(0x1234), Reg(6))
+		p.Swpb(Reg(6)) // 0x3412
+		p.Mov(Imm(0x0080), Reg(7))
+		p.Sxt(Reg(7)) // 0xFF80
+		p.Ret()
+	}, "main")
+	if c.R[4] != 0xC001 {
+		t.Errorf("RRA: %04x", c.R[4])
+	}
+	if c.R[5] != 0x8000 {
+		t.Errorf("RRC: %04x", c.R[5])
+	}
+	if c.R[6] != 0x3412 {
+		t.Errorf("SWPB: %04x", c.R[6])
+	}
+	if c.R[7] != 0xFF80 {
+		t.Errorf("SXT: %04x", c.R[7])
+	}
+}
+
+func TestRlaRlc32BitShift(t *testing.T) {
+	// 32-bit left shift via RLA low + RLC high — the idiom the
+	// noising routines use.
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0x8001), Reg(4)) // low
+		p.Mov(Imm(0x0001), Reg(5)) // high
+		p.Rla(Reg(4))
+		p.Rlc(Reg(5))
+		p.Ret()
+	}, "main")
+	if c.R[4] != 0x0002 || c.R[5] != 0x0003 {
+		t.Errorf("32-bit shift: high=%04x low=%04x", c.R[5], c.R[4])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0xBEEF), Abs(0x0200))
+		p.Mov(Abs(0x0200), Reg(4))
+		p.Mov(Imm(0x0200), Reg(5))
+		p.Mov(Ind(5), Reg(6))
+		p.Mov(IndInc(5), Reg(7))
+		p.Mov(Imm(0x1111), Idx(2, 5)) // R5 now 0x0202: write 0x0204
+		p.Ret()
+	}, "main")
+	if c.R[4] != 0xBEEF || c.R[6] != 0xBEEF || c.R[7] != 0xBEEF {
+		t.Errorf("R4=%04x R6=%04x R7=%04x", c.R[4], c.R[6], c.R[7])
+	}
+	if c.R[5] != 0x0202 {
+		t.Errorf("autoincrement: R5=%04x", c.R[5])
+	}
+	if got := c.ReadWord(0x0204); got != 0x1111 {
+		t.Errorf("indexed store: %04x", got)
+	}
+}
+
+func TestByteOps(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0x1234), Abs(0x0200))
+		p.MovB(Abs(0x0200), Reg(4)) // low byte only
+		p.MovB(Imm(0xFF), Abs(0x0201))
+		p.Mov(Abs(0x0200), Reg(5))
+		p.Ret()
+	}, "main")
+	if c.R[4] != 0x34 {
+		t.Errorf("byte read: %04x", c.R[4])
+	}
+	if c.R[5] != 0xFF34 {
+		t.Errorf("byte write merged: %04x", c.R[5])
+	}
+}
+
+func TestByteArithmeticFlags(t *testing.T) {
+	// Byte-mode flags come from bit 7, not bit 15.
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0x7F), Abs(0x0200))
+		p.twoOpForTest(0x5, Imm(1), Abs(0x0200), true) // ADD.B #1, &0x200
+		p.Ret()
+	}, "main")
+	if got := c.ReadWord(0x0200) & 0xFF; got != 0x80 {
+		t.Errorf("ADD.B result %02x", got)
+	}
+	if !c.flag(FlagN) || !c.flag(FlagV) {
+		t.Errorf("byte overflow flags: SR=%04x", c.R[SR])
+	}
+	// Byte carry at 0xFF + 1.
+	c2, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0xFF), Abs(0x0200))
+		p.twoOpForTest(0x5, Imm(1), Abs(0x0200), true)
+		p.Ret()
+	}, "main")
+	if got := c2.ReadWord(0x0200) & 0xFF; got != 0 {
+		t.Errorf("ADD.B wrap %02x", got)
+	}
+	if !c2.flag(FlagC) || !c2.flag(FlagZ) {
+		t.Errorf("byte carry flags: SR=%04x", c2.R[SR])
+	}
+}
+
+func TestByteAutoIncrementStepsByOne(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0x0200), Reg(5))
+		p.Mov(Imm(0x4241), Abs(0x0200))
+		p.twoOpForTest(0x4, IndInc(5), Reg(6), true) // MOV.B @R5+, R6
+		p.twoOpForTest(0x4, IndInc(5), Reg(7), true) // MOV.B @R5+, R7
+		p.Ret()
+	}, "main")
+	if c.R[6] != 0x41 || c.R[7] != 0x42 {
+		t.Errorf("byte autoincrement reads: %02x %02x", c.R[6], c.R[7])
+	}
+	if c.R[5] != 0x0202 {
+		t.Errorf("pointer advanced to %04x, want +1 per byte", c.R[5])
+	}
+}
+
+func TestJumpsAndLoop(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(10), Reg(4))
+		p.Clr(Reg(5))
+		p.Label("loop")
+		p.Add(Reg(4), Reg(5))
+		p.Dec(Reg(4))
+		p.Jne("loop")
+		p.Ret()
+	}, "main")
+	if c.R[5] != 55 {
+		t.Errorf("sum = %d, want 55", c.R[5])
+	}
+}
+
+func TestSignedJumps(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(-5), Reg(4))
+		p.Cmp(Imm(3), Reg(4)) // -5 < 3 signed
+		p.Jl("less")
+		p.Mov(Imm(0), Reg(5))
+		p.Ret()
+		p.Label("less")
+		p.Mov(Imm(1), Reg(5))
+		p.Ret()
+	}, "main")
+	if c.R[5] != 1 {
+		t.Error("JL not taken for -5 < 3")
+	}
+}
+
+func TestCallAndStack(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(21), Reg(4))
+		p.CallLabel("double")
+		p.Ret()
+		p.Label("double")
+		p.Add(Reg(4), Reg(4))
+		p.Ret()
+	}, "main")
+	if c.R[4] != 42 {
+		t.Errorf("R4 = %d", c.R[4])
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Mov(Imm(0xABCD), Reg(4))
+		p.Push(Reg(4))
+		p.Clr(Reg(4))
+		p.Pop(Reg(4))
+		p.Ret()
+	}, "main")
+	if c.R[4] != 0xABCD {
+		t.Errorf("push/pop: %04x", c.R[4])
+	}
+}
+
+func TestDadd(t *testing.T) {
+	c, _ := run(t, func(p *Program) {
+		p.Label("main")
+		p.Clr(Reg(4)) // also clears carry via setNZ? ensure C=0
+		p.Mov(Imm(0x1234), Reg(4))
+		p.Mov(Imm(0x4321), Reg(5))
+		p.Bic(Imm(1), Reg(SR)) // clear carry explicitly
+		p.Dadd(Reg(4), Reg(5)) // BCD: 1234 + 4321 = 5555
+		p.Ret()
+	}, "main")
+	if c.R[5] != 0x5555 {
+		t.Errorf("DADD: %04x", c.R[5])
+	}
+}
+
+func TestCycleCounts(t *testing.T) {
+	// Spot checks against the family user's guide.
+	tests := []struct {
+		name  string
+		build func(p *Program)
+		want  uint64
+	}{
+		{"mov Rn->Rn is 1", func(p *Program) {
+			p.Label("main")
+			p.Mov(Reg(4), Reg(5))
+			p.Ret()
+		}, 1 + 3}, // + RET (MOV @SP+, PC): 3 cycles
+		{"mov #imm->Rn is 2", func(p *Program) {
+			p.Label("main")
+			p.Mov(Imm(0x1234), Reg(5))
+			p.Ret()
+		}, 2 + 3},
+		{"CG #1->Rn is 1", func(p *Program) {
+			p.Label("main")
+			p.Mov(Imm(1), Reg(5))
+			p.Ret()
+		}, 1 + 3},
+		{"jump costs 2", func(p *Program) {
+			p.Label("main")
+			p.Jmp("next")
+			p.Label("next")
+			p.Ret()
+		}, 2 + 3},
+		{"mov Rn->mem is 4", func(p *Program) {
+			p.Label("main")
+			p.Mov(Reg(4), Abs(0x0200))
+			p.Ret()
+		}, 4 + 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, cycles := run(t, tt.build, "main")
+			if cycles != tt.want {
+				t.Errorf("cycles = %d, want %d", cycles, tt.want)
+			}
+		})
+	}
+}
+
+func TestIllegalOpcode(t *testing.T) {
+	c := New()
+	c.WriteWord(0x4000, 0x0123) // below format space
+	c.R[PC] = 0x4000
+	if err := c.Step(); err == nil {
+		t.Error("illegal opcode should error")
+	}
+}
+
+func TestInstructionCap(t *testing.T) {
+	p := NewProgram(0x4000)
+	p.Label("spin")
+	p.Jmp("spin")
+	words, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.LoadWords(0x4000, words)
+	if _, err := c.Call(0x4000, 1000); err == nil {
+		t.Error("infinite loop should hit the instruction cap")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	p := NewProgram(0x4000)
+	p.Jmp("nowhere")
+	if _, err := p.Assemble(); err == nil {
+		t.Error("undefined label should error")
+	}
+	p2 := NewProgram(0x4000)
+	p2.Label("a")
+	p2.Label("a")
+	if p2.Err() == nil {
+		t.Error("duplicate label should error")
+	}
+	p3 := NewProgram(0x4000)
+	p3.Mov(Reg(4), Ind(5)) // @Rn invalid as destination
+	if p3.Err() == nil {
+		t.Error("indirect destination should error")
+	}
+}
+
+func TestJumpRange(t *testing.T) {
+	p := NewProgram(0x4000)
+	p.Label("start")
+	p.Jmp("far")
+	for i := 0; i < 600; i++ {
+		p.Word(0x4303) // NOP (MOV R3, R3)
+	}
+	p.Label("far")
+	p.Ret()
+	if _, err := p.Assemble(); err == nil {
+		t.Error("jump beyond ±512 words should error")
+	}
+}
+
+func TestResetPreservesMemory(t *testing.T) {
+	c := New()
+	c.WriteWord(0x0300, 0x7777)
+	c.R[7] = 9
+	c.Cycles = 100
+	c.Reset()
+	if c.R[7] != 0 || c.Cycles != 0 {
+		t.Error("reset did not clear registers/cycles")
+	}
+	if c.ReadWord(0x0300) != 0x7777 {
+		t.Error("reset cleared memory")
+	}
+}

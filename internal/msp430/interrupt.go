@@ -1,0 +1,103 @@
+package msp430
+
+import "fmt"
+
+// Interrupt and low-power-mode support: the MSP430's defining ULP
+// feature. Firmware enables GIE and sets CPUOFF to sleep; a
+// peripheral requests an interrupt; the CPU wakes, pushes PC and SR,
+// clears SR (waking the core), and vectors through the table at
+// 0xFFE0. RETI restores SR — including CPUOFF, so the core drops back
+// to sleep unless the ISR edited the stacked SR. This is the
+// mechanism behind the paper's remark that DP-Box noising avoids
+// "waking up the microcontroller on every sensor output".
+
+// Status register bits beyond the ALU flags.
+const (
+	// FlagGIE is the global interrupt enable.
+	FlagGIE uint16 = 1 << 3
+	// FlagCPUOFF turns the CPU core off (LPM0+).
+	FlagCPUOFF uint16 = 1 << 4
+)
+
+// NumVectors is the size of the interrupt vector table.
+const NumVectors = 16
+
+// VectorTable is the base address of the vector table: vector i's
+// handler address lives at VectorTable + 2i.
+const VectorTable = 0xFFE0
+
+// interruptCycles is the hardware interrupt entry latency.
+const interruptCycles = 6
+
+// ClockedPeripheral is a peripheral that advances with the CPU clock
+// (timers, watchdogs).
+type ClockedPeripheral interface {
+	// ClockTick is called with the number of CPU cycles just elapsed.
+	ClockTick(n uint64)
+}
+
+// AttachClocked registers a clock consumer.
+func (c *CPU) AttachClocked(p ClockedPeripheral) {
+	c.clocked = append(c.clocked, p)
+}
+
+// RequestInterrupt latches an interrupt request on the given vector.
+// It panics on an out-of-range vector (a wiring bug).
+func (c *CPU) RequestInterrupt(vector int) {
+	if vector < 0 || vector >= NumVectors {
+		panic(fmt.Sprintf("msp430: interrupt vector %d out of range", vector))
+	}
+	c.pending[vector] = true
+}
+
+// InterruptsPending reports whether any request is latched.
+func (c *CPU) InterruptsPending() bool {
+	for _, p := range c.pending {
+		if p {
+			return true
+		}
+	}
+	return false
+}
+
+// serviceInterrupt enters the highest-priority (lowest-vector)
+// pending handler, if interrupts are enabled. It reports whether a
+// handler was entered.
+func (c *CPU) serviceInterrupt() bool {
+	if c.R[SR]&FlagGIE == 0 {
+		return false
+	}
+	for v := 0; v < NumVectors; v++ {
+		if !c.pending[v] {
+			continue
+		}
+		c.pending[v] = false
+		c.R[SP] -= 2
+		c.WriteWord(c.R[SP], c.R[PC])
+		c.R[SP] -= 2
+		c.WriteWord(c.R[SP], c.R[SR])
+		c.R[SR] = 0 // clears GIE and CPUOFF: the core wakes for the ISR
+		c.R[PC] = c.ReadWord(VectorTable + uint16(2*v))
+		c.chargeCycles(interruptCycles)
+		return true
+	}
+	return false
+}
+
+// RunCycles executes (or sleeps) until the cycle counter reaches
+// target or the CPU halts. It is the driver for interrupt-driven
+// firmware whose main loop never returns.
+func (c *CPU) RunCycles(target uint64, maxInstrs uint64) error {
+	for c.Cycles < target && !c.Halted {
+		if c.Instrs >= maxInstrs {
+			return fmt.Errorf("msp430: exceeded %d instructions at PC=%04x", maxInstrs, c.R[PC])
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IdleCycles returns the cycles spent with the core off.
+func (c *CPU) IdleCycles() uint64 { return c.idleCycles }

@@ -1,0 +1,198 @@
+package msp430
+
+import "testing"
+
+// loadAndBoot assembles a program, loads it, installs the vector
+// table entries, and points the PC at "main".
+func loadAndBoot(t *testing.T, build func(p *Program), vectors map[int]string) *CPU {
+	t.Helper()
+	p := NewProgram(0x4000)
+	build(p)
+	words, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.LoadWords(0x4000, words)
+	for v, label := range vectors {
+		addr, err := p.LabelAddr(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.WriteWord(VectorTable+uint16(2*v), addr)
+	}
+	main, err := p.LabelAddr("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.R[PC] = main
+	return c
+}
+
+func TestInterruptEntryAndReturn(t *testing.T) {
+	c := loadAndBoot(t, func(p *Program) {
+		p.Label("main")
+		p.Bis(Imm(int(FlagGIE)), Reg(SR))
+		p.Label("spin")
+		p.Inc(Reg(4)) // main-loop work counter
+		p.Jmp("spin")
+		p.Label("isr")
+		p.Inc(Reg(5)) // ISR counter
+		p.Reti()
+	}, map[int]string{3: "isr"})
+
+	if err := c.RunCycles(100, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[5] != 0 {
+		t.Fatal("ISR ran without a request")
+	}
+	c.RequestInterrupt(3)
+	if err := c.RunCycles(c.Cycles+100, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[5] != 1 {
+		t.Fatalf("ISR counter = %d, want 1", c.R[5])
+	}
+	// Main loop resumed: its counter keeps rising afterwards.
+	before := c.R[4]
+	if err := c.RunCycles(c.Cycles+50, 200000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[4] <= before {
+		t.Error("main loop did not resume after RETI")
+	}
+	// GIE restored by RETI.
+	if c.R[SR]&FlagGIE == 0 {
+		t.Error("GIE not restored")
+	}
+}
+
+func TestInterruptPriorityLowestVectorFirst(t *testing.T) {
+	c := loadAndBoot(t, func(p *Program) {
+		p.Label("main")
+		p.Bis(Imm(int(FlagGIE)), Reg(SR))
+		p.Label("spin")
+		p.Jmp("spin")
+		p.Label("isr_lo")
+		p.Mov(Imm(1), Reg(6)) // records which ran first
+		p.Tst(Reg(7))
+		p.Jne("lo_done")
+		p.Mov(Imm(1), Reg(7))
+		p.Label("lo_done")
+		p.Reti()
+		p.Label("isr_hi")
+		p.Tst(Reg(7))
+		p.Jne("hi_done")
+		p.Mov(Imm(2), Reg(7))
+		p.Label("hi_done")
+		p.Reti()
+	}, map[int]string{2: "isr_lo", 9: "isr_hi"})
+
+	c.RequestInterrupt(9)
+	c.RequestInterrupt(2)
+	if err := c.RunCycles(200, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[7] != 1 {
+		t.Errorf("first ISR marker = %d, want 1 (lowest vector first)", c.R[7])
+	}
+}
+
+func TestCPUOffSleepsUntilInterrupt(t *testing.T) {
+	c := loadAndBoot(t, func(p *Program) {
+		p.Label("main")
+		p.Bis(Imm(int(FlagGIE|FlagCPUOFF)), Reg(SR))
+		p.Label("after")
+		p.Inc(Reg(4))
+		p.Jmp("after")
+		p.Label("isr")
+		// Wake the main loop for good: clear CPUOFF in the stacked SR
+		// (the standard MSP430 wake-up idiom).
+		p.Bic(Imm(int(FlagCPUOFF)), Idx(0, SP))
+		p.Reti()
+	}, map[int]string{1: "isr"})
+
+	if err := c.RunCycles(500, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[4] != 0 {
+		t.Fatal("core executed past LPM entry without an interrupt")
+	}
+	if c.IdleCycles() == 0 {
+		t.Fatal("no idle cycles recorded")
+	}
+	c.RequestInterrupt(1)
+	if err := c.RunCycles(c.Cycles+200, 200000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[4] == 0 {
+		t.Error("ISR did not wake the main loop")
+	}
+}
+
+func TestMaskedInterruptStaysPending(t *testing.T) {
+	c := loadAndBoot(t, func(p *Program) {
+		p.Label("main")
+		p.Label("spin")
+		p.Jmp("spin")
+		p.Label("isr")
+		p.Inc(Reg(5))
+		p.Reti()
+	}, map[int]string{0: "isr"})
+	c.RequestInterrupt(0)
+	if err := c.RunCycles(200, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[5] != 0 {
+		t.Fatal("masked interrupt serviced")
+	}
+	if !c.InterruptsPending() {
+		t.Fatal("request lost")
+	}
+	// Enable and it fires.
+	c.R[SR] |= FlagGIE
+	if err := c.RunCycles(c.Cycles+100, 200000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[5] != 1 {
+		t.Errorf("ISR count %d after unmasking", c.R[5])
+	}
+}
+
+func TestRequestInterruptValidation(t *testing.T) {
+	c := New()
+	for _, v := range []int{-1, NumVectors} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("vector %d should panic", v)
+				}
+			}()
+			c.RequestInterrupt(v)
+		}()
+	}
+}
+
+func TestInterruptEntryCost(t *testing.T) {
+	c := loadAndBoot(t, func(p *Program) {
+		p.Label("main")
+		p.Bis(Imm(int(FlagGIE|FlagCPUOFF)), Reg(SR))
+		p.Label("halt")
+		p.Jmp("halt")
+		p.Label("isr")
+		p.Reti()
+	}, map[int]string{5: "isr"})
+	// Run into sleep.
+	if err := c.RunCycles(20, 1000); err != nil {
+		t.Fatal(err)
+	}
+	start := c.Cycles
+	c.RequestInterrupt(5)
+	if err := c.Step(); err != nil { // entry
+		t.Fatal(err)
+	}
+	if got := c.Cycles - start; got != interruptCycles {
+		t.Errorf("interrupt entry cost %d cycles, want %d", got, interruptCycles)
+	}
+}

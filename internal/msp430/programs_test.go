@@ -1,0 +1,305 @@
+package msp430
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBothRoutinesAssemble(t *testing.T) {
+	for _, prec := range []Precision{FixedPoint20, HalfPrecision} {
+		if _, err := NewSoftNoiser(prec, 42); err != nil {
+			t.Errorf("%v: %v", prec, err)
+		}
+	}
+}
+
+func TestPrecisionString(t *testing.T) {
+	if FixedPoint20.String() != "fixed-point-20" || HalfPrecision.String() != "half-precision" {
+		t.Error("precision strings wrong")
+	}
+}
+
+// TestFixedPointMagnitudeAgainstReference replays the software
+// Tausworthe in Go, computes the exact expected magnitude from the
+// same draw, and checks the assembly routine within its quantization
+// error.
+func TestFixedPointMagnitudeAgainstReference(t *testing.T) {
+	s, err := NewSoftNoiser(FixedPoint20, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror of the routine's Tausworthe state.
+	var st [3]uint32
+	for i := 0; i < 3; i++ {
+		st[i] = uint32(s.cpu.ReadWord(uint16(AddrSeed+4*i))) |
+			uint32(s.cpu.ReadWord(uint16(AddrSeed+4*i+2)))<<16
+	}
+	step := func() uint32 {
+		b := ((st[0] << 13) ^ st[0]) >> 19
+		st[0] = ((st[0] & 0xFFFFFFFE) << 12) ^ b
+		b = ((st[1] << 2) ^ st[1]) >> 25
+		st[1] = ((st[1] & 0xFFFFFFF8) << 4) ^ b
+		b = ((st[2] << 3) ^ st[2]) >> 11
+		st[2] = ((st[2] & 0xFFFFFFF0) << 17) ^ b
+		return st[0] ^ st[1] ^ st[2]
+	}
+	const lambda = 64
+	const x = 100
+	for i := 0; i < 200; i++ {
+		u := step()
+		m := u & 0x1FFFF
+		negative := u&0x80000000 != 0
+		var want float64
+		if m == 0 {
+			want = 0
+		} else {
+			want = lambda * -math.Log(float64(m)/(1<<17))
+		}
+		got, _, err := s.Noise(x, lambda, -2000, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mag := float64(got - x)
+		if negative {
+			mag = -mag
+		}
+		// Table interpolation + Q6.26 quantization: allow a small
+		// absolute error plus a relative term.
+		tol := 1.5 + 0.002*math.Abs(want)
+		if math.Abs(mag-want) > tol {
+			t.Errorf("draw %d: magnitude %g, want %g (m=%d)", i, mag, want, m)
+		}
+	}
+}
+
+func TestHalfPrecisionMagnitudeAgainstReference(t *testing.T) {
+	s, err := NewSoftNoiser(HalfPrecision, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := uint32(s.cpu.ReadWord(AddrSeed)) | uint32(s.cpu.ReadWord(AddrSeed+2))<<16
+	step := func() uint32 {
+		b := ((st << 13) ^ st) >> 19
+		st = ((st & 0xFFFFFFFE) << 12) ^ b
+		return st
+	}
+	const lambda = 32
+	const x = 0
+	for i := 0; i < 200; i++ {
+		u := step()
+		m := u & 0x7FF
+		negative := u&0x80000000 != 0
+		var want float64
+		if m == 0 {
+			want = 0
+		} else {
+			want = lambda * -math.Log(float64(m)/(1<<11))
+		}
+		got, _, err := s.Noise(x, lambda, -2000, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mag := float64(got - x)
+		if negative {
+			mag = -mag
+		}
+		// Coarser table: tolerate a bigger relative error.
+		tol := 1.5 + 0.01*math.Abs(want)
+		if math.Abs(mag-want) > tol {
+			t.Errorf("draw %d: magnitude %g, want %g (m=%d)", i, mag, want, m)
+		}
+	}
+}
+
+func TestClampBehaviour(t *testing.T) {
+	s, err := NewSoftNoiser(FixedPoint20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		got, _, err := s.Noise(10, 64, 0, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 0 || got > 20 {
+			t.Fatalf("clamped output %d outside [0, 20]", got)
+		}
+	}
+}
+
+func TestCycleCountsAreThreeOrdersAboveHardware(t *testing.T) {
+	// The Section III-D claim: software noising costs thousands of
+	// cycles (4043 fixed point, 1436 half precision measured by the
+	// paper) against 2-4 cycles in hardware, and the fixed-point
+	// routine is the slower of the two.
+	fxp, err := NewSoftNoiser(FixedPoint20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f16, err := NewSoftNoiser(HalfPrecision, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(s *SoftNoiser) float64 {
+		var total uint64
+		const n = 200
+		for i := 0; i < n; i++ {
+			_, cycles, err := s.Noise(50, 64, -3000, 3000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += cycles
+		}
+		return float64(total) / n
+	}
+	fxpCycles := avg(fxp)
+	f16Cycles := avg(f16)
+	t.Logf("fixed-point: %.0f cycles/noise; half-precision: %.0f cycles/noise", fxpCycles, f16Cycles)
+	if fxpCycles <= f16Cycles {
+		t.Errorf("fixed point (%.0f) should cost more than half precision (%.0f)", fxpCycles, f16Cycles)
+	}
+	if fxpCycles < 500 {
+		t.Errorf("fixed-point cycles %.0f implausibly low", fxpCycles)
+	}
+	// Hardware does it in 4 cycles (conservatively, incl. MSP430
+	// memory traffic): the software gap must be >= two orders.
+	if fxpCycles/4 < 100 {
+		t.Errorf("hardware/software gap only %.0fx", fxpCycles/4)
+	}
+}
+
+func TestNoiseSignBalance(t *testing.T) {
+	s, err := NewSoftNoiser(FixedPoint20, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pos, neg int
+	for i := 0; i < 3000; i++ {
+		got, _, err := s.Noise(0, 64, -30000, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > 0 {
+			pos++
+		} else if got < 0 {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Fatalf("degenerate signs: +%d -%d", pos, neg)
+	}
+	ratio := float64(pos) / float64(pos+neg)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("sign ratio %g not balanced", ratio)
+	}
+}
+
+func TestNoiseDistributionIsLaplaceLike(t *testing.T) {
+	// Mean |noise| over many draws approaches λ (Laplace E|X| = λ).
+	s, err := NewSoftNoiser(FixedPoint20, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lambda = 64
+	var sumAbs float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		got, _, err := s.Noise(0, lambda, -30000, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumAbs += math.Abs(float64(got))
+	}
+	meanAbs := sumAbs / n
+	if math.Abs(meanAbs-lambda)/lambda > 0.08 {
+		t.Errorf("E|noise| = %g, want ~%d", meanAbs, lambda)
+	}
+}
+
+func TestBudgetUpdateRoutine(t *testing.T) {
+	// Bands: inside [0,100] -> 8 units; offset <= 20 -> 10; offset
+	// <= 40 -> 16 (with clamping beyond 40).
+	b, err := NewBudgetUpdater(1000, 20, 40, 8, 10, 16, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		y      int16
+		charge uint16
+	}{
+		{50, 8},   // inside
+		{0, 8},    // boundary inside
+		{110, 10}, // first band
+		{-15, 10}, // first band below
+		{130, 16}, // second band
+		{999, 16}, // beyond: clamped + top charge
+	}
+	remaining := uint16(1000)
+	var totalCycles uint64
+	for _, tt := range tests {
+		got, cycles, err := b.Update(tt.y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remaining -= tt.charge
+		if got != remaining {
+			t.Errorf("y=%d: budget %d, want %d", tt.y, got, remaining)
+		}
+		totalCycles += cycles
+		if cycles > 100 {
+			t.Errorf("y=%d: %d cycles for a budget update is implausible", tt.y, cycles)
+		}
+	}
+	t.Logf("average budget update: %.1f cycles", float64(totalCycles)/float64(len(tests)))
+	// Clamping: the out-of-band output was rewritten to the edge.
+	if _, _, err := b.Update(999); err != nil {
+		t.Fatal(err)
+	}
+	if y := int16(b.cpu.ReadWord(AddrOut)); y != 140 {
+		t.Errorf("clamped output %d, want 140", y)
+	}
+	if _, _, err := b.Update(-999); err != nil {
+		t.Fatal(err)
+	}
+	if y := int16(b.cpu.ReadWord(AddrOut)); y != -40 {
+		t.Errorf("clamped output %d, want -40", y)
+	}
+}
+
+func TestBudgetUpdateSaturatesAtZero(t *testing.T) {
+	b, err := NewBudgetUpdater(5, 20, 40, 8, 10, 16, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.Update(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("budget %d, want 0 (saturated)", got)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a, err := NewSoftNoiser(FixedPoint20, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSoftNoiser(FixedPoint20, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		va, ca, err := a.Noise(5, 64, -3000, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, cb, err := b.Noise(5, 64, -3000, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va != vb || ca != cb {
+			t.Fatalf("replay diverged at %d: (%d,%d) vs (%d,%d)", i, va, ca, vb, cb)
+		}
+	}
+}

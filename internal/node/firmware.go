@@ -1,0 +1,124 @@
+package node
+
+import (
+	"fmt"
+
+	"ulpdp/internal/msp430"
+)
+
+// Firmware memory map: the driver exchanges values with the host
+// through two RAM words.
+const (
+	AddrX   = 0x0200 // input: sensor value (steps)
+	AddrOut = 0x0202 // output: noised value
+)
+
+// BuildFirmware assembles the MSP430 driver for a DP-Box mapped at
+// base: a configuration routine (ε shift, sensor range) and a noising
+// routine (load sensor value, start, poll ready, store output).
+func BuildFirmware(base uint16, epsShift int, rangeLo, rangeHi int16) (*msp430.Program, error) {
+	if base%2 != 0 {
+		return nil, fmt.Errorf("node: unaligned base %#x", base)
+	}
+	cmd := base + RegCmd
+	data := base + RegData
+	out := base + RegOut
+	status := base + RegStatus
+
+	p := msp430.NewProgram(0x4000)
+
+	// configure: write ε and the range registers once.
+	p.Label("configure")
+	p.Mov(msp430.Imm(epsShift), msp430.Abs(data))
+	p.Mov(msp430.Imm(2), msp430.Abs(cmd)) // SetEpsilon
+	p.Mov(msp430.Imm(int(rangeLo)), msp430.Abs(data))
+	p.Mov(msp430.Imm(5), msp430.Abs(cmd)) // SetRangeLower
+	p.Mov(msp430.Imm(int(rangeHi)), msp430.Abs(data))
+	p.Mov(msp430.Imm(4), msp430.Abs(cmd)) // SetRangeUpper
+	p.Ret()
+
+	// noise: one full transaction.
+	p.Label("noise")
+	p.Mov(msp430.Abs(AddrX), msp430.Abs(data))
+	p.Mov(msp430.Imm(3), msp430.Abs(cmd)) // SetSensorValue
+	p.Mov(msp430.Imm(1), msp430.Abs(cmd)) // StartNoising
+	p.Label("poll")
+	p.Bit(msp430.Imm(StatusReady), msp430.Abs(status))
+	p.Jeq("poll")
+	p.Mov(msp430.Abs(out), msp430.Abs(AddrOut))
+	p.Ret()
+
+	// mode_resample: toggle the guard mode.
+	p.Label("mode_resample")
+	p.Mov(msp430.Imm(-1), msp430.Abs(data))
+	p.Mov(msp430.Imm(6), msp430.Abs(cmd)) // SetThreshold (toggle)
+	p.Ret()
+
+	if p.Err() != nil {
+		return nil, p.Err()
+	}
+	return p, nil
+}
+
+// Driver couples a Node with its loaded firmware.
+type Driver struct {
+	node      *Node
+	configure uint16
+	noise     uint16
+	resample  uint16
+}
+
+// NewDriver assembles the firmware, loads it, and returns a driver.
+func NewDriver(n *Node, epsShift int, rangeLo, rangeHi int16) (*Driver, error) {
+	prog, err := BuildFirmware(n.Port.Base, epsShift, rangeLo, rangeHi)
+	if err != nil {
+		return nil, err
+	}
+	words, err := prog.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	n.CPU.LoadWords(prog.Org(), words)
+	d := &Driver{node: n}
+	for name, dst := range map[string]*uint16{
+		"configure": &d.configure, "noise": &d.noise, "mode_resample": &d.resample,
+	} {
+		addr, err := prog.LabelAddr(name)
+		if err != nil {
+			return nil, err
+		}
+		*dst = addr
+	}
+	return d, nil
+}
+
+// Configure runs the configuration routine.
+func (d *Driver) Configure() error {
+	if _, err := d.node.CPU.Call(d.configure, 10_000); err != nil {
+		return err
+	}
+	return d.node.Port.LastErr()
+}
+
+// ToggleResampling runs the mode-toggle routine.
+func (d *Driver) ToggleResampling() error {
+	if _, err := d.node.CPU.Call(d.resample, 10_000); err != nil {
+		return err
+	}
+	return d.node.Port.LastErr()
+}
+
+// Noise runs one firmware noising transaction and returns the noised
+// value and the CPU cycles spent (including MMIO polling).
+func (d *Driver) Noise(x int16) (int16, uint64, error) {
+	d.node.CPU.WriteWord(AddrX, uint16(x))
+	d.node.CPU.Instrs = 0
+	cycles, err := d.node.CPU.Call(d.noise, 100_000)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := d.node.Port.LastErr(); err != nil {
+		return 0, 0, err
+	}
+	return int16(d.node.CPU.ReadWord(AddrOut)), cycles, nil
+}

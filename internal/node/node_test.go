@@ -1,0 +1,202 @@
+package node
+
+import (
+	"testing"
+
+	"ulpdp/internal/dpbox"
+	"ulpdp/internal/urng"
+)
+
+const base = 0x0180
+
+func newNode(t *testing.T, budget float64) (*Node, *Driver) {
+	t.Helper()
+	box, err := dpbox.New(dpbox.Config{Bu: 12, By: 10, Mult: 2, Source: urng.NewTaus88(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := box.Initialize(budget, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := New(box, base)
+	d, err := NewDriver(n, 1, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Configure(); err != nil {
+		t.Fatal(err)
+	}
+	return n, d
+}
+
+func TestFirmwareNoisesThroughMMIO(t *testing.T) {
+	n, d := newNode(t, 1e6)
+	// One priming transaction derives the threshold.
+	if _, _, err := d.Noise(8); err != nil {
+		t.Fatal(err)
+	}
+	th := n.Port.Box.Threshold()
+	if th <= 0 {
+		t.Fatal("threshold not derived through the register file")
+	}
+	for i := 0; i < 500; i++ {
+		y, cycles, err := d.Noise(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(y) < -th || int64(y) > 16+th {
+			t.Fatalf("firmware got out-of-window output %d", y)
+		}
+		// Firmware cost: a handful of MMIO writes + polling; far
+		// below the thousands of software-noising cycles.
+		if cycles > 200 {
+			t.Fatalf("firmware transaction took %d cycles", cycles)
+		}
+	}
+}
+
+func TestFirmwareVsSoftwareCycleGap(t *testing.T) {
+	_, d := newNode(t, 1e6)
+	_, cycles, err := d.Noise(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole hardware-assisted transaction (MMIO + polling)
+	// costs tens of cycles; pure software noising costs ~1100.
+	if cycles >= 300 {
+		t.Errorf("hardware-assisted noising took %d CPU cycles", cycles)
+	}
+	t.Logf("firmware transaction: %d CPU cycles (vs ~1100 software)", cycles)
+}
+
+func TestFirmwareResamplingMode(t *testing.T) {
+	n, d := newNode(t, 1e6)
+	if err := d.ToggleResampling(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		y, _, err := d.Noise(16) // extreme input
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := n.Port.Box.Threshold()
+		if int64(y) < -th || int64(y) > 16+th {
+			t.Fatalf("resampling output %d outside window", y)
+		}
+	}
+}
+
+func TestBudgetVisibleThroughRegister(t *testing.T) {
+	n, d := newNode(t, 3)
+	before := n.Port.ReadWord(base + RegBudget)
+	if before != 3*16 {
+		t.Fatalf("budget register = %d, want 48", before)
+	}
+	if _, _, err := d.Noise(8); err != nil {
+		t.Fatal(err)
+	}
+	after := n.Port.ReadWord(base + RegBudget)
+	if after >= before {
+		t.Errorf("budget register did not decrease: %d -> %d", before, after)
+	}
+}
+
+func TestCacheBitAfterExhaustion(t *testing.T) {
+	n, d := newNode(t, 0.8)
+	for i := 0; i < 50; i++ {
+		if _, _, err := d.Noise(8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Port.ReadWord(base+RegBudget) != 0 {
+		t.Fatal("budget should be exhausted")
+	}
+	if _, _, err := d.Noise(8); err != nil {
+		t.Fatal(err)
+	}
+	if n.Port.ReadWord(base+RegStatus)&StatusCache == 0 {
+		t.Error("cache bit not set after exhaustion")
+	}
+}
+
+func TestMaliciousFirmwareCannotRaiseBudget(t *testing.T) {
+	// The integrity story: once initialized, no software action can
+	// touch the budget registers. A hostile write sequence leaves the
+	// budget untouched.
+	n, d := newNode(t, 5)
+	if _, _, err := d.Noise(8); err != nil {
+		t.Fatal(err)
+	}
+	spent := n.Port.Box.BudgetRemaining()
+	// Try to reprogram the budget through every register.
+	n.Port.WriteWord(base+RegData, 0x7FFF)
+	n.Port.WriteWord(base+RegCmd, 2) // SetEpsilon: now sets n_m, not budget
+	n.Port.WriteWord(base+RegCmd, 1) // StartNoising from waiting
+	for n.Port.Box.Phase() == dpbox.PhaseNoising {
+		n.Port.Box.Step()
+	}
+	if got := n.Port.Box.BudgetRemaining(); got > spent {
+		t.Errorf("firmware raised the budget: %g -> %g", spent, got)
+	}
+}
+
+func TestPortValidation(t *testing.T) {
+	box, err := dpbox.New(dpbox.Config{Bu: 12, By: 10, Mult: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range []func(){
+		func() { NewPort(nil, 0x100) },
+		func() { NewPort(box, 0x101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUnmappedRegisterReadsZero(t *testing.T) {
+	box, err := dpbox.New(dpbox.Config{Bu: 12, By: 10, Mult: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPort(box, base)
+	if !p.Contains(base) || !p.Contains(base+regSpan-1) {
+		t.Error("port does not claim its own registers")
+	}
+	if p.Contains(base-1) || p.Contains(base+regSpan) {
+		t.Error("port claims foreign addresses")
+	}
+}
+
+func TestByteAccessToRegisters(t *testing.T) {
+	// Byte-wise MMIO access must read/modify the containing word.
+	n, _ := newNode(t, 10)
+	n.Port.WriteWord(base+RegData, 0x1234)
+	cpu := n.CPU
+	// MOV.B &DATA, R4 reads the low byte.
+	prog := buildByteProbe(t)
+	cpu.LoadWords(0x5000, prog)
+	if _, err := cpu.Call(0x5000, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.R[4] != 0x34 {
+		t.Errorf("byte read = %#x, want 0x34", cpu.R[4])
+	}
+}
+
+func buildByteProbe(t *testing.T) []uint16 {
+	t.Helper()
+	// Assembled separately to avoid clobbering the firmware image.
+	p := probeProgram()
+	words, err := p.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return words
+}

@@ -1,0 +1,11 @@
+package node
+
+import "ulpdp/internal/msp430"
+
+// probeProgram is a tiny test fixture: MOV.B &(base+RegData), R4.
+func probeProgram() *msp430.Program {
+	p := msp430.NewProgram(0x5000)
+	p.MovB(msp430.Abs(base+RegData), msp430.Reg(4))
+	p.Ret()
+	return p
+}

@@ -1,0 +1,236 @@
+// Package rappor implements a RAPPOR-style categorical frequency
+// estimator (Erlingsson, Pihur, Korolova — the mechanism the paper's
+// Section VI-E cites as the motivation for DP-Box's randomized-
+// response mode). Each client encodes its category into a Bloom
+// filter and pushes every bit through the binary randomized-response
+// primitive — exactly the operation a threshold-zero DP-Box performs
+// per bit — and the aggregator recovers candidate frequencies from
+// the debiased bit counts by least squares.
+package rappor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"ulpdp/internal/urng"
+)
+
+// Params fixes the encoding and privacy configuration.
+type Params struct {
+	// Bits is the Bloom filter width m.
+	Bits int
+	// Hashes is the number of hash functions h.
+	Hashes int
+	// FlipProb is the per-bit randomized-response flip probability q
+	// in (0, 0.5) — the DP-Box threshold-zero flip probability.
+	FlipProb float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Bits < 8 || p.Bits > 4096 {
+		return fmt.Errorf("rappor: %d bits out of range [8,4096]", p.Bits)
+	}
+	if p.Hashes < 1 || p.Hashes > 8 {
+		return fmt.Errorf("rappor: %d hashes out of range [1,8]", p.Hashes)
+	}
+	if !(p.FlipProb > 0 && p.FlipProb < 0.5) {
+		return fmt.Errorf("rappor: flip probability %g out of (0, 0.5)", p.FlipProb)
+	}
+	return nil
+}
+
+// Epsilon returns the per-report privacy parameter: each of the 2h
+// bits that can differ between two categories is an independent
+// binary randomized response with ln((1−q)/q) per bit.
+func (p Params) Epsilon() float64 {
+	return 2 * float64(p.Hashes) * math.Log((1-p.FlipProb)/p.FlipProb)
+}
+
+// Encode returns the Bloom bit indices for a category, via double
+// hashing of two FNV digests.
+func (p Params) Encode(category string) []int {
+	h1 := fnv.New64a()
+	h1.Write([]byte(category))
+	a := h1.Sum64()
+	h2 := fnv.New64()
+	h2.Write([]byte(category))
+	b := h2.Sum64() | 1 // odd stride
+	idx := make([]int, p.Hashes)
+	for i := range idx {
+		idx[i] = int((a + uint64(i)*b) % uint64(p.Bits))
+	}
+	return idx
+}
+
+// Client produces randomized reports.
+type Client struct {
+	par Params
+	src *urng.SplitMix64
+}
+
+// NewClient builds a reporting client. It panics on invalid
+// parameters.
+func NewClient(par Params, seed uint64) *Client {
+	if err := par.Validate(); err != nil {
+		panic(err)
+	}
+	return &Client{par: par, src: urng.NewSplitMix64(seed)}
+}
+
+// Report encodes the category and pushes every Bloom bit through the
+// binary randomized response. The result is the noised bit vector.
+func (c *Client) Report(category string) []bool {
+	bits := make([]bool, c.par.Bits)
+	for _, i := range c.par.Encode(category) {
+		bits[i] = true
+	}
+	for i := range bits {
+		if c.src.Float64() < c.par.FlipProb {
+			bits[i] = !bits[i]
+		}
+	}
+	return bits
+}
+
+// Aggregator accumulates reports and decodes candidate frequencies.
+type Aggregator struct {
+	par    Params
+	counts []float64
+	n      int
+}
+
+// NewAggregator builds an empty aggregator. It panics on invalid
+// parameters.
+func NewAggregator(par Params) *Aggregator {
+	if err := par.Validate(); err != nil {
+		panic(err)
+	}
+	return &Aggregator{par: par, counts: make([]float64, par.Bits)}
+}
+
+// Add accumulates one report. It panics on a report of the wrong
+// width (a wiring bug, not a runtime condition).
+func (a *Aggregator) Add(report []bool) {
+	if len(report) != a.par.Bits {
+		panic(fmt.Sprintf("rappor: report width %d, want %d", len(report), a.par.Bits))
+	}
+	for i, b := range report {
+		if b {
+			a.counts[i]++
+		}
+	}
+	a.n++
+}
+
+// Reports returns the number of accumulated reports.
+func (a *Aggregator) Reports() int { return a.n }
+
+// debiasedBitRates returns the estimated true 1-rate per bit:
+// t_i = (c_i/n − q) / (1 − 2q).
+func (a *Aggregator) debiasedBitRates() []float64 {
+	q := a.par.FlipProb
+	t := make([]float64, a.par.Bits)
+	for i, c := range a.counts {
+		t[i] = (c/float64(a.n) - q) / (1 - 2*q)
+	}
+	return t
+}
+
+// Decode estimates each candidate's frequency (fraction of reports)
+// by least squares over the candidates' Bloom columns: minimize
+// ‖X·f − t‖² with X[i][j] = 1 if candidate j sets bit i. Negative
+// solutions clamp to zero. It returns frequencies aligned with
+// candidates. An error is returned with no reports, no candidates,
+// or a singular design (duplicate candidates).
+func (a *Aggregator) Decode(candidates []string) ([]float64, error) {
+	if a.n == 0 {
+		return nil, fmt.Errorf("rappor: no reports accumulated")
+	}
+	k := len(candidates)
+	if k == 0 {
+		return nil, fmt.Errorf("rappor: no candidates")
+	}
+	// Columns of the design matrix.
+	cols := make([][]int, k)
+	for j, cand := range candidates {
+		cols[j] = a.par.Encode(cand)
+	}
+	t := a.debiasedBitRates()
+	// Normal equations G = XᵀX (k×k), v = Xᵀt.
+	g := make([][]float64, k)
+	v := make([]float64, k)
+	for j := range g {
+		g[j] = make([]float64, k+1)
+	}
+	bitSets := make([]map[int]bool, k)
+	for j, c := range cols {
+		set := make(map[int]bool, len(c))
+		for _, i := range c {
+			set[i] = true
+		}
+		bitSets[j] = set
+		for _, i := range c {
+			v[j] += t[i]
+		}
+	}
+	for j1 := 0; j1 < k; j1++ {
+		for j2 := j1; j2 < k; j2++ {
+			shared := 0
+			for i := range bitSets[j1] {
+				if bitSets[j2][i] {
+					shared++
+				}
+			}
+			g[j1][j2] = float64(shared)
+			g[j2][j1] = float64(shared)
+		}
+		g[j1][k] = v[j1]
+	}
+	f, err := solve(g, k)
+	if err != nil {
+		return nil, err
+	}
+	for j := range f {
+		if f[j] < 0 {
+			f[j] = 0
+		}
+		if f[j] > 1 {
+			f[j] = 1
+		}
+	}
+	return f, nil
+}
+
+// solve runs Gaussian elimination with partial pivoting on the
+// augmented system g (k x k+1).
+func solve(g [][]float64, k int) ([]float64, error) {
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(g[r][col]) > math.Abs(g[pivot][col]) {
+				pivot = r
+			}
+		}
+		g[col], g[pivot] = g[pivot], g[col]
+		if math.Abs(g[col][col]) < 1e-12 {
+			return nil, fmt.Errorf("rappor: singular design (duplicate or colliding candidates)")
+		}
+		for r := col + 1; r < k; r++ {
+			f := g[r][col] / g[col][col]
+			for c := col; c <= k; c++ {
+				g[r][c] -= f * g[col][c]
+			}
+		}
+	}
+	out := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		s := g[r][k]
+		for c := r + 1; c < k; c++ {
+			s -= g[r][c] * out[c]
+		}
+		out[r] = s / g[r][r]
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package rappor
+
+import (
+	"math"
+	"testing"
+
+	"ulpdp/internal/urng"
+)
+
+var par = Params{Bits: 128, Hashes: 2, FlipProb: 0.25}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Bits: 4, Hashes: 2, FlipProb: 0.25},
+		{Bits: 8192, Hashes: 2, FlipProb: 0.25},
+		{Bits: 128, Hashes: 0, FlipProb: 0.25},
+		{Bits: 128, Hashes: 9, FlipProb: 0.25},
+		{Bits: 128, Hashes: 2, FlipProb: 0},
+		{Bits: 128, Hashes: 2, FlipProb: 0.5},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("params %d should be invalid", i)
+		}
+	}
+	if par.Validate() != nil {
+		t.Error("valid params rejected")
+	}
+}
+
+func TestEpsilon(t *testing.T) {
+	// 2h·ln((1−q)/q) with h=2, q=0.25: 4·ln(3) ≈ 4.394.
+	if got := par.Epsilon(); math.Abs(got-4*math.Log(3)) > 1e-12 {
+		t.Errorf("epsilon = %g", got)
+	}
+}
+
+func TestEncodeDeterministicInRange(t *testing.T) {
+	a := par.Encode("chrome.example.com")
+	b := par.Encode("chrome.example.com")
+	if len(a) != par.Hashes {
+		t.Fatalf("%d indices", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("encoding not deterministic")
+		}
+		if a[i] < 0 || a[i] >= par.Bits {
+			t.Fatalf("index %d out of range", a[i])
+		}
+	}
+	c := par.Encode("other.example.com")
+	equal := true
+	for i := range a {
+		if a[i] != c[i] {
+			equal = false
+		}
+	}
+	if equal {
+		t.Error("distinct categories encoded identically")
+	}
+}
+
+func TestReportFlipRate(t *testing.T) {
+	c := NewClient(par, 1)
+	truth := make([]bool, par.Bits)
+	for _, i := range par.Encode("x") {
+		truth[i] = true
+	}
+	flips, total := 0, 0
+	for r := 0; r < 2000; r++ {
+		rep := c.Report("x")
+		for i, b := range rep {
+			if b != truth[i] {
+				flips++
+			}
+			total++
+		}
+	}
+	rate := float64(flips) / float64(total)
+	if math.Abs(rate-par.FlipProb) > 0.01 {
+		t.Errorf("flip rate %g, want %g", rate, par.FlipProb)
+	}
+}
+
+func TestEndToEndFrequencyRecovery(t *testing.T) {
+	candidates := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	truth := []float64{0.4, 0.3, 0.2, 0.1, 0} // epsilon never reported
+	c := NewClient(par, 7)
+	agg := NewAggregator(par)
+	rng := urng.NewSplitMix64(3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		cat := candidates[0]
+		acc := 0.0
+		for j, f := range truth {
+			acc += f
+			if u < acc {
+				cat = candidates[j]
+				break
+			}
+		}
+		agg.Add(c.Report(cat))
+	}
+	if agg.Reports() != n {
+		t.Fatalf("reports = %d", agg.Reports())
+	}
+	est, err := agg.Decode(candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, f := range truth {
+		if math.Abs(est[j]-f) > 0.03 {
+			t.Errorf("%s: estimated %g, true %g", candidates[j], est[j], f)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	agg := NewAggregator(par)
+	if _, err := agg.Decode([]string{"a"}); err == nil {
+		t.Error("decode with no reports should error")
+	}
+	c := NewClient(par, 1)
+	agg.Add(c.Report("a"))
+	if _, err := agg.Decode(nil); err == nil {
+		t.Error("decode with no candidates should error")
+	}
+	if _, err := agg.Decode([]string{"a", "a"}); err == nil {
+		t.Error("duplicate candidates should be singular")
+	}
+}
+
+func TestAddPanicsOnWrongWidth(t *testing.T) {
+	agg := NewAggregator(par)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	agg.Add(make([]bool, 3))
+}
+
+func TestConstructorsPanicOnInvalid(t *testing.T) {
+	bad := Params{Bits: 1, Hashes: 1, FlipProb: 0.1}
+	for i, f := range []func(){
+		func() { NewClient(bad, 1) },
+		func() { NewAggregator(bad) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMorePrivacyMoreNoise(t *testing.T) {
+	// Higher flip probability (more privacy) must produce worse
+	// frequency estimates at equal N.
+	estimateErr := func(q float64, seed uint64) float64 {
+		p := Params{Bits: 128, Hashes: 2, FlipProb: q}
+		c := NewClient(p, seed)
+		agg := NewAggregator(p)
+		rng := urng.NewSplitMix64(seed)
+		const n = 4000
+		for i := 0; i < n; i++ {
+			cat := "a"
+			if rng.Float64() < 0.5 {
+				cat = "b"
+			}
+			agg.Add(c.Report(cat))
+		}
+		est, err := agg.Decode([]string{"a", "b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(est[0]-0.5) + math.Abs(est[1]-0.5)
+	}
+	var lowPriv, highPriv float64
+	for s := uint64(0); s < 8; s++ {
+		lowPriv += estimateErr(0.05, 100+s)
+		highPriv += estimateErr(0.45, 200+s)
+	}
+	if highPriv <= lowPriv {
+		t.Errorf("q=0.45 error (%g) should exceed q=0.05 error (%g)", highPriv, lowPriv)
+	}
+}

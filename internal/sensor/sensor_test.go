@@ -1,0 +1,149 @@
+package sensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestReplayExhaustsAndCycles(t *testing.T) {
+	data := []float64{1, 2, 3}
+	r := NewReplay(data, false)
+	for i, want := range data {
+		v, err := r.Read()
+		if err != nil || v != want {
+			t.Fatalf("read %d = %g, %v", i, v, err)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("err = %v, want ErrExhausted", err)
+	}
+	c := NewReplay(data, true)
+	for i := 0; i < 10; i++ {
+		v, err := c.Read()
+		if err != nil || v != data[i%3] {
+			t.Fatalf("cycled read %d = %g, %v", i, v, err)
+		}
+	}
+}
+
+func TestReplayRangeAndRemaining(t *testing.T) {
+	r := NewReplay([]float64{5, -2, 9}, false)
+	lo, hi := r.Range()
+	if lo != -2 || hi != 9 {
+		t.Errorf("range = [%g, %g]", lo, hi)
+	}
+	if r.Remaining() != 3 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 2 {
+		t.Errorf("remaining after read = %d", r.Remaining())
+	}
+}
+
+func TestReplayPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReplay(nil, false)
+}
+
+func TestSyntheticStaysInRangeAndQuantized(t *testing.T) {
+	s := NewSynthetic(0, 100, 64, 0.05, 10, 7)
+	step := 100.0 / 1023
+	for i := 0; i < 1000; i++ {
+		v, err := s.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 || v > 100 {
+			t.Fatalf("reading %g out of range", v)
+		}
+		levels := (v - 0) / step
+		if math.Abs(levels-math.Round(levels)) > 1e-6 {
+			t.Fatalf("reading %g not on ADC grid", v)
+		}
+	}
+}
+
+func TestSyntheticPanicsOnBadParams(t *testing.T) {
+	cases := []func(){
+		func() { NewSynthetic(1, 1, 10, 0, 8, 1) },
+		func() { NewSynthetic(0, 1, 0, 0, 8, 1) },
+		func() { NewSynthetic(0, 1, 10, 0, 0, 1) },
+		func() { NewSynthetic(0, 1, 10, -1, 8, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBusCycleModel(t *testing.T) {
+	b := NewBus(40) // 16 MHz core / 400 kHz bus
+	// 2-byte payload: start/stop (2) + 3 bytes * 9 clocks = 29 bus
+	// clocks = 1160 core cycles — "10s of cycles" at bus speed,
+	// ~1000s at core speed.
+	if got := b.TransferCycles(2); got != 29*40 {
+		t.Errorf("transfer cycles = %d, want %d", got, 29*40)
+	}
+	b.Transfer(2)
+	b.Transfer(2)
+	if b.TotalCycles() != 2*29*40 {
+		t.Errorf("total = %d", b.TotalCycles())
+	}
+}
+
+func TestBusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBus(0)
+}
+
+func TestBusNegativeTransferPanics(t *testing.T) {
+	b := NewBus(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.TransferCycles(-1)
+}
+
+func TestNodeSample(t *testing.T) {
+	n := &Node{Sensor: NewReplay([]float64{42}, true), Bus: NewBus(40)}
+	r, err := n.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 42 {
+		t.Errorf("value = %g", r.Value)
+	}
+	if r.BusCycles != 29*40 {
+		t.Errorf("bus cycles = %d", r.BusCycles)
+	}
+}
+
+func TestNodePropagatesExhaustion(t *testing.T) {
+	n := &Node{Sensor: NewReplay([]float64{1}, false), Bus: NewBus(1)}
+	if _, err := n.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Sample(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,163 @@
+package urng
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is a small statistical test battery (monobit, runs,
+// block-frequency, serial correlation) in the spirit of NIST
+// SP 800-22, sized for unit tests. The DP guarantee leans on the
+// URNG's uniformity — a biased generator skews the noise PMF away
+// from the analyzed one — so the repository checks its generators
+// the way an RNG hardware block would be qualified.
+
+// BatteryResult is one statistic with its acceptance verdict.
+type BatteryResult struct {
+	// Name identifies the test.
+	Name string
+	// Statistic is the standardized test statistic (approximately
+	// N(0,1) or χ²-derived z-score under the null).
+	Statistic float64
+	// Pass reports |Statistic| below the battery's 4.5σ acceptance
+	// band (false-positive odds ~1e-5 per test, safe for CI).
+	Pass bool
+}
+
+// acceptSigma is the acceptance band in standard deviations.
+const acceptSigma = 4.5
+
+// RunBattery draws n words from src and evaluates the battery.
+func RunBattery(src Source, n int) []BatteryResult {
+	if n < 1024 {
+		panic(fmt.Sprintf("urng: battery needs >= 1024 words, got %d", n))
+	}
+	words := make([]uint32, n)
+	for i := range words {
+		words[i] = src.Uint32()
+	}
+	return []BatteryResult{
+		monobit(words),
+		runsTest(words),
+		blockFrequency(words, 64),
+		serialCorrelation(words),
+		bytePairChi(words),
+	}
+}
+
+// Passed reports whether every test in the battery passed.
+func Passed(results []BatteryResult) bool {
+	for _, r := range results {
+		if !r.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+func verdict(name string, z float64) BatteryResult {
+	return BatteryResult{Name: name, Statistic: z, Pass: math.Abs(z) <= acceptSigma}
+}
+
+// monobit compares the total one-bit count against n·16.
+func monobit(words []uint32) BatteryResult {
+	ones := 0
+	for _, w := range words {
+		ones += popcount(w)
+	}
+	bits := float64(len(words) * 32)
+	z := (float64(ones) - bits/2) / math.Sqrt(bits/4)
+	return verdict("monobit", z)
+}
+
+// runsTest counts bit-level runs across the stream.
+func runsTest(words []uint32) BatteryResult {
+	var runs int
+	var prev uint32
+	first := true
+	var bits int
+	for _, w := range words {
+		for i := 0; i < 32; i++ {
+			b := (w >> uint(i)) & 1
+			if first || b != prev {
+				runs++
+				first = false
+			}
+			prev = b
+			bits++
+		}
+	}
+	// Under the null, runs ~ N(n/2 + 1/2, ~n/4) for unbiased bits.
+	n := float64(bits)
+	mean := n/2 + 0.5
+	z := (float64(runs) - mean) / math.Sqrt(n/4)
+	return verdict("runs", z)
+}
+
+// blockFrequency is a χ² over per-block one-bit counts.
+func blockFrequency(words []uint32, blockWords int) BatteryResult {
+	blocks := len(words) / blockWords
+	var chi2 float64
+	for b := 0; b < blocks; b++ {
+		ones := 0
+		for i := 0; i < blockWords; i++ {
+			ones += popcount(words[b*blockWords+i])
+		}
+		bits := float64(blockWords * 32)
+		p := float64(ones) / bits
+		chi2 += 4 * bits * (p - 0.5) * (p - 0.5)
+	}
+	// χ²(k) has mean k, variance 2k: standardize.
+	k := float64(blocks)
+	z := (chi2 - k) / math.Sqrt(2*k)
+	return verdict("block-frequency", z)
+}
+
+// serialCorrelation measures lag-1 correlation of the word stream.
+func serialCorrelation(words []uint32) BatteryResult {
+	n := len(words) - 1
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		x := float64(words[i]) / (1 << 32)
+		y := float64(words[i+1]) / (1 << 32)
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	fn := float64(n)
+	cov := sxy/fn - (sx/fn)*(sy/fn)
+	vx := sxx/fn - (sx/fn)*(sx/fn)
+	vy := syy/fn - (sy/fn)*(sy/fn)
+	r := cov / math.Sqrt(vx*vy)
+	// r ~ N(0, 1/n) under the null.
+	z := r * math.Sqrt(fn)
+	return verdict("serial-correlation", z)
+}
+
+// bytePairChi is a χ² over the 256-bin histogram of low bytes.
+func bytePairChi(words []uint32) BatteryResult {
+	var counts [256]float64
+	for _, w := range words {
+		counts[w&0xFF]++
+	}
+	expected := float64(len(words)) / 256
+	var chi2 float64
+	for _, c := range counts {
+		d := c - expected
+		chi2 += d * d / expected
+	}
+	// χ²(255): standardize.
+	z := (chi2 - 255) / math.Sqrt(2*255)
+	return verdict("byte-histogram", z)
+}
+
+func popcount(w uint32) int {
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}

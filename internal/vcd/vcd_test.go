@@ -1,0 +1,130 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHeaderAndChanges(t *testing.T) {
+	var buf bytes.Buffer
+	w := New(&buf, "dut")
+	clk := w.Signal("clk", 1)
+	bus := w.Signal("bus", 8)
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(0)
+	clk.Set(0)
+	bus.Set(0xA5)
+	w.Tick(1)
+	clk.Set(1)
+	bus.Set(0xA5) // unchanged: must be suppressed
+	w.Tick(2)
+	bus.Set(0x5A)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module dut $end",
+		"$var wire 1",
+		"$var wire 8",
+		"$enddefinitions $end",
+		"#0", "#1", "#2",
+		"b10100101 ",
+		"b1011010 ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The unchanged bus value at #1 must appear exactly once.
+	if strings.Count(out, "b10100101 ") != 1 {
+		t.Error("unchanged value re-emitted")
+	}
+}
+
+func TestOrderingAndValidation(t *testing.T) {
+	var buf bytes.Buffer
+	w := New(&buf, "m")
+	s := w.Signal("a", 1)
+	// Set before Begin panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Set before Begin should panic")
+			}
+		}()
+		s.Set(1)
+	}()
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(); err == nil {
+		t.Error("double Begin should error")
+	}
+	// Signal after Begin panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Signal after Begin should panic")
+			}
+		}()
+		w.Signal("late", 1)
+	}()
+	w.Tick(5)
+	// Time going backwards panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("backwards time should panic")
+			}
+		}()
+		w.Tick(4)
+	}()
+}
+
+func TestWidthValidation(t *testing.T) {
+	w := New(&bytes.Buffer{}, "m")
+	for _, width := range []int{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d should panic", width)
+				}
+			}()
+			w.Signal("x", width)
+		}()
+	}
+}
+
+func TestIDCodesUnique(t *testing.T) {
+	w := New(&bytes.Buffer{}, "m")
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		s := w.Signal("s", 1)
+		if seen[s.id] {
+			t.Fatalf("duplicate id %q at %d", s.id, i)
+		}
+		seen[s.id] = true
+	}
+}
+
+func TestValueMasking(t *testing.T) {
+	var buf bytes.Buffer
+	w := New(&buf, "m")
+	s := w.Signal("nibble", 4)
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(0)
+	s.Set(0xFF) // masked to 0xF
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "b1111 ") {
+		t.Errorf("masking failed:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,312 @@
+package ulpdp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ulpdp/internal/msp430"
+)
+
+var par = Params{Lo: 0, Hi: 10, Eps: 0.5, Bu: 17, By: 12, Delta: 10.0 / 32}
+
+func TestConstructorsValidate(t *testing.T) {
+	bad := Params{Lo: 1, Hi: 0, Eps: 1, Bu: 10, By: 10, Delta: 0.1}
+	if _, err := NewIdealLaplace(bad, 1); err == nil {
+		t.Error("ideal accepted bad params")
+	}
+	if _, err := NewBaseline(bad, 1); err == nil {
+		t.Error("baseline accepted bad params")
+	}
+	if _, err := NewResampling(bad, 2, 1); err == nil {
+		t.Error("resampling accepted bad params")
+	}
+	if _, err := NewThresholding(bad, 2, 1); err == nil {
+		t.Error("thresholding accepted bad params")
+	}
+	if _, err := NewRandomizedResponse(bad, 1); err == nil {
+		t.Error("rr accepted bad params")
+	}
+	if _, err := CertifyBaseline(bad); err == nil {
+		t.Error("certify accepted bad params")
+	}
+	if _, err := NewFxPDist(bad); err == nil {
+		t.Error("dist accepted bad params")
+	}
+}
+
+func TestEndToEndPrivacyStory(t *testing.T) {
+	// The paper's narrative through the public API: the baseline
+	// leaks, the guards are certified, both noising paths work.
+	rep, err := CertifyBaseline(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Infinite {
+		t.Fatal("baseline should have infinite loss")
+	}
+
+	th, err := ThresholdingThreshold(par, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = CertifyThresholding(par, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Bounded(2 * par.Eps) {
+		t.Fatalf("thresholding not certified: %+v", rep)
+	}
+
+	rth, err := ResamplingThreshold(par, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = CertifyResampling(par, rth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Bounded(2 * par.Eps) {
+		t.Fatalf("resampling not certified: %+v", rep)
+	}
+
+	for _, mk := range []func() (Mechanism, error){
+		func() (Mechanism, error) { return NewIdealLaplace(par, 1) },
+		func() (Mechanism, error) { return NewBaseline(par, 1) },
+		func() (Mechanism, error) { return NewResampling(par, 2, 1) },
+		func() (Mechanism, error) { return NewThresholding(par, 2, 1) },
+	} {
+		m, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const n = 5000
+		for i := 0; i < n; i++ {
+			sum += m.Noise(5).Value
+		}
+		if mean := sum / n; math.Abs(mean-5) > 2 {
+			t.Errorf("%s: mean of noised 5 = %g", m.Name(), mean)
+		}
+	}
+}
+
+func TestRandomizedResponseAPI(t *testing.T) {
+	p := Params{Lo: 0, Hi: 1, Eps: 1, Bu: 16, By: 12, Delta: 1.0 / 16}
+	rr, err := NewRandomizedResponse(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rr.Noise(0.2).Value
+	if v != 0 && v != 1 {
+		t.Errorf("rr output %g", v)
+	}
+	if eps := rr.RREpsilon(); eps <= 0 {
+		t.Errorf("rr epsilon %g", eps)
+	}
+}
+
+func TestBudgetAPI(t *testing.T) {
+	b, err := NewBudget(par, BudgetConfig{Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := b.Request(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Charged <= 0 {
+		t.Error("first request should charge")
+	}
+}
+
+func TestDPBoxAPI(t *testing.T) {
+	box, err := NewDPBox(DPBoxConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := box.Initialize(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := box.Configure(1, 0, 32); err != nil {
+		t.Fatal(err)
+	}
+	r, err := box.NoiseValue(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles != 2 {
+		t.Errorf("latency %d", r.Cycles)
+	}
+}
+
+func TestDatasetsAPI(t *testing.T) {
+	if len(Datasets()) != 7 {
+		t.Error("seven datasets expected")
+	}
+	m, err := DatasetByName("Auto-MPG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Generate(1)) != m.Entries {
+		t.Error("generate length mismatch")
+	}
+}
+
+func TestSynthesizeAPI(t *testing.T) {
+	rep, err := Synthesize(BaselineHardware(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gates != 10431 {
+		t.Errorf("gates %d", rep.Gates)
+	}
+}
+
+func TestSoftNoiserAPI(t *testing.T) {
+	n, err := NewSoftNoiser(msp430.FixedPoint20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cycles, err := n.Noise(10, 64, -3000, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles < 100 {
+		t.Errorf("software noising in %d cycles is implausible", cycles)
+	}
+}
+
+func TestBankAPI(t *testing.T) {
+	bank, err := NewBank(DPBoxConfig{Bu: 12, By: 10, Mult: 2}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.Initialize(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.Box(0).Configure(1, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	r, err := bank.Box(0).NoiseValue(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Charged <= 0 {
+		t.Error("bank channel did not charge")
+	}
+	if bank.BudgetRemaining() >= 5 {
+		t.Error("shared budget untouched")
+	}
+}
+
+func TestConstantTimeAPI(t *testing.T) {
+	p := Params{Lo: 0, Hi: 8, Eps: 0.5, Bu: 12, By: 10, Delta: 0.5}
+	m, err := NewConstantTime(p, 2, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Noise(4).Resamples != 0 {
+		t.Error("constant time must not report resamples")
+	}
+	ct, ok := m.(interface{ Threshold() int64 })
+	if !ok {
+		t.Fatal("missing threshold accessor")
+	}
+	rep, err := CertifyConstantTime(p, ct.Threshold(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Bounded(2 * p.Eps) {
+		t.Errorf("constant-time not certified: %+v", rep)
+	}
+	bad := p
+	bad.Eps = -1
+	if _, err := NewConstantTime(bad, 2, 4, 1); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := CertifyConstantTime(bad, 5, 4); err == nil {
+		t.Error("bad params accepted (certify)")
+	}
+}
+
+func TestFamilyAPI(t *testing.T) {
+	geo := NoiseGeometry{Bu: 12, By: 10, Delta: 0.5}
+	d, err := NewFamilyDist(StaircaseFamily{Eps: 0.5, D: 8, Gamma: 0.4}, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Lo: 0, Hi: 8, Eps: 0.5, Bu: geo.Bu, By: geo.By, Delta: geo.Delta}
+	rep, err := CertifyFamilyBaseline(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Infinite {
+		t.Error("naive staircase should leak")
+	}
+	if _, err := CertifyFamilyThresholding(p, d, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFamilyDist(LaplaceFamily{Lambda: 1}, NoiseGeometry{}); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	bad := p
+	bad.Eps = 0
+	if _, err := CertifyFamilyBaseline(bad, d); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := CertifyFamilyThresholding(bad, d, 30); err == nil {
+		t.Error("bad params accepted (thresholding)")
+	}
+}
+
+func TestCertifyWrapperValidation(t *testing.T) {
+	bad := Params{Lo: 1, Hi: 0, Eps: 1, Bu: 10, By: 10, Delta: 0.1}
+	if _, err := CertifyThresholding(bad, 5); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := CertifyResampling(bad, 5); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestRunAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick suite takes a few seconds")
+	}
+	var buf bytes.Buffer
+	cfg := QuickExperiments()
+	if err := RunAllExperiments(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+	if DefaultExperiments().Trials <= cfg.Trials {
+		t.Error("default config should be larger than quick")
+	}
+}
+
+func TestExperimentAPI(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != 23 {
+		t.Fatalf("%d experiments", len(names))
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("fig4", QuickExperiments(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 4") {
+		t.Error("fig4 output missing header")
+	}
+	err := RunExperiment("nope", QuickExperiments(), &buf)
+	if err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	var unknown *UnknownExperimentError
+	if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error %v should name the experiment", err)
+	}
+	_ = unknown
+}
