@@ -117,18 +117,76 @@ func BenchmarkExactPMF(b *testing.B) {
 	}
 }
 
-// BenchmarkAnalyzerCertify measures a full exact certification of the
-// thresholding mechanism.
+// benchParLarge is the wide-grid analyzer geometry: a 512-step
+// sensor grid on a B_y = 16 output word, where the certification
+// scan's asymptotics dominate construction.
+var benchParLarge = core.Params{Lo: 0, Hi: 20, Eps: 0.5, Bu: 20, By: 16, Delta: 20.0 / 512}
+
+// BenchmarkAnalyzerBuild measures analyzer construction alone — the
+// full PMF materialization plus prefix sums. Certification is
+// measured separately (BenchmarkAnalyzerCertify) so kernel changes
+// are visible in isolation.
+func BenchmarkAnalyzerBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.NewAnalyzer(benchPar)
+	}
+}
+
+// BenchmarkAnalyzerCachedBuild measures the same construction through
+// the process-wide analyzer cache (steady state: all hits).
+func BenchmarkAnalyzerCachedBuild(b *testing.B) {
+	core.ResetAnalyzerCache()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.CachedAnalyzer(benchPar)
+	}
+}
+
+// BenchmarkAnalyzerCertify measures one exact certification of the
+// thresholding mechanism, construction excluded.
 func BenchmarkAnalyzerCertify(b *testing.B) {
 	th, err := core.ThresholdingThreshold(benchPar, 2)
 	if err != nil {
 		b.Fatal(err)
 	}
+	an := core.NewAnalyzer(benchPar)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		an := core.NewAnalyzer(benchPar)
 		if rep := an.ThresholdingLoss(th); rep.Infinite {
 			b.Fatal("certification failed")
 		}
+	}
+}
+
+// BenchmarkAnalyzerCertifyLarge is BenchmarkAnalyzerCertify on the
+// wide grid, where the sliding-window kernel's linear asymptotics
+// (vs the legacy quadratic scan) carry the speedup.
+func BenchmarkAnalyzerCertifyLarge(b *testing.B) {
+	th, err := core.ThresholdingThreshold(benchParLarge, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	an := core.NewAnalyzer(benchParLarge)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := an.ThresholdingLoss(th); rep.Infinite {
+			b.Fatal("certification failed")
+		}
+	}
+}
+
+// BenchmarkAnalyzerProfile measures the full Fig. 8 loss profile
+// derivation (one sliding-window sweep per call).
+func BenchmarkAnalyzerProfile(b *testing.B) {
+	th, err := core.ThresholdingThreshold(benchPar, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	an := core.NewAnalyzer(benchPar)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an.ThresholdingLossProfile(th)
 	}
 }
 

@@ -99,7 +99,7 @@ func run(par ulpdp.Params, mult float64, k int) Audit {
 			a.ThresholdingLoss = rep.MaxLoss
 			a.ThresholdingOK = rep.Bounded(bound)
 		}
-		an := core.NewAnalyzer(par)
+		an := core.CachedAnalyzer(par)
 		a.InteriorLoss = an.InteriorLoss(th)
 		a.Segments = an.Segments(th, chargingMults(mult))
 	} else {

@@ -144,7 +144,7 @@ func New(par core.Params, cfg Config) (*Controller, error) {
 			return nil, fmt.Errorf("budget: multipliers must be ascending")
 		}
 	}
-	an := core.NewAnalyzer(par)
+	an := core.CachedAnalyzer(par)
 	// The charging bands come from the thresholding per-output loss
 	// profile. In resampling mode each input's conditional
 	// distribution is renormalized by its acceptance mass Z(x), which

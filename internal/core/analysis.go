@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"ulpdp/internal/laplace"
 )
@@ -31,9 +29,23 @@ type LossReport struct {
 	WorstX1, WorstX2 int64
 }
 
-// Bounded reports whether the loss is finite and at most bound nats.
+// lossTol is the comparison slack for loss-vs-bound checks: relative
+// in the bound once it exceeds one nat. A bare absolute 1e-12 is
+// below float64's representable spacing once ε·mult grows past ~1e4,
+// so exact-at-the-bound losses would be rejected by nothing more than
+// the rounding of the final log.
+func lossTol(bound float64) float64 {
+	const rel = 1e-12
+	if b := math.Abs(bound); b > 1 {
+		return b * rel
+	}
+	return rel
+}
+
+// Bounded reports whether the loss is finite and at most bound nats
+// (up to a relative rounding tolerance).
 func (r LossReport) Bounded(bound float64) bool {
-	return !r.Infinite && r.MaxLoss <= bound+1e-12
+	return !r.Infinite && r.MaxLoss <= bound+lossTol(bound)
 }
 
 // Analyzer computes exact privacy-loss figures for mechanisms built
@@ -125,47 +137,6 @@ func (a *Analyzer) tailAtLeast(k int64) float64 { return a.massBetween(k, a.maxK
 // tailAtMost returns Pr[n/Δ <= k] for any signed k.
 func (a *Analyzer) tailAtMost(k int64) float64 { return a.massBetween(-a.maxK, k) }
 
-// scanLoss computes the worst-case loss given a conditional
-// probability function P(y|x) over output steps [yLo, yHi] (absolute
-// grid) and inputs [LoSteps, HiSteps]. Large grids are split across
-// the machine's cores; the merge is deterministic (smallest worst
-// output wins ties), so parallel and sequential runs agree exactly.
-func (a *Analyzer) scanLoss(yLo, yHi int64, cond func(y, x int64) float64) LossReport {
-	const parallelCutoff = 1 << 12
-	outputs := yHi - yLo + 1
-	workers := runtime.NumCPU()
-	if outputs < parallelCutoff || workers < 2 {
-		return a.scanLossRange(yLo, yHi, cond)
-	}
-	if int64(workers) > outputs {
-		workers = int(outputs)
-	}
-	parts := make([]LossReport, workers)
-	var wg sync.WaitGroup
-	chunk := (outputs + int64(workers) - 1) / int64(workers)
-	for w := 0; w < workers; w++ {
-		lo := yLo + int64(w)*chunk
-		hi := lo + chunk - 1
-		if hi > yHi {
-			hi = yHi
-		}
-		if lo > yHi {
-			break
-		}
-		wg.Add(1)
-		go func(idx int, lo, hi int64) {
-			defer wg.Done()
-			parts[idx] = a.scanLossRange(lo, hi, cond)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	rep := parts[0]
-	for _, p := range parts[1:] {
-		rep = mergeLoss(rep, p)
-	}
-	return rep
-}
-
 // mergeLoss combines two partial reports: larger loss wins; ties
 // (including both infinite) go to the smaller worst output, matching
 // the sequential scan's first-hit semantics.
@@ -186,45 +157,15 @@ func mergeLoss(a, b LossReport) LossReport {
 	return a
 }
 
-// scanLossRange is the sequential kernel over one output range.
-func (a *Analyzer) scanLossRange(yLo, yHi int64, cond func(y, x int64) float64) LossReport {
-	rep := LossReport{MaxLoss: 0}
-	xLo, xHi := a.par.LoSteps(), a.par.HiSteps()
-	for y := yLo; y <= yHi; y++ {
-		pMax, pMin := math.Inf(-1), math.Inf(1)
-		var xMax, xMin int64
-		for x := xLo; x <= xHi; x++ {
-			p := cond(y, x)
-			if p > pMax {
-				pMax, xMax = p, x
-			}
-			if p < pMin {
-				pMin, xMin = p, x
-			}
-		}
-		if pMax <= 0 {
-			continue // output unreachable from every input
-		}
-		if pMin <= 0 {
-			return LossReport{MaxLoss: math.Inf(1), Infinite: true,
-				WorstOutput: y, WorstX1: xMax, WorstX2: xMin}
-		}
-		if loss := math.Log(pMax / pMin); loss > rep.MaxLoss {
-			rep = LossReport{MaxLoss: loss, WorstOutput: y, WorstX1: xMax, WorstX2: xMin}
-		}
-	}
-	return rep
-}
-
 // BaselineLoss certifies the naive mechanism. For any usable
 // configuration the result is Infinite: the RNG's bounded range means
-// extreme outputs identify extreme inputs (Section III-A3).
+// extreme outputs identify extreme inputs (Section III-A3). The
+// conditional is fully translation invariant, so the sliding-window
+// kernel certifies it in O(|Y|+|X|).
 func (a *Analyzer) BaselineLoss() LossReport {
 	yLo := a.par.LoSteps() - a.maxK
 	yHi := a.par.HiSteps() + a.maxK
-	return a.scanLoss(yLo, yHi, func(y, x int64) float64 {
-		return a.probK(y - x)
-	})
+	return a.parallelScan(yLo, yHi, a.scanShiftRange)
 }
 
 // ResamplingLoss computes the exact worst-case loss of the resampling
@@ -242,21 +183,24 @@ func (a *Analyzer) ResamplingLoss(t int64) LossReport {
 	for x := xLo; x <= xHi; x++ {
 		z[x-xLo] = a.massBetween(yLo-x, yHi-x)
 	}
-	return a.scanLoss(yLo, yHi, func(y, x int64) float64 {
-		return a.probK(y-x) / z[x-xLo]
+	return a.parallelScan(yLo, yHi, func(lo, hi int64) LossReport {
+		return a.scanResamplingRange(z, lo, hi)
 	})
 }
 
 // ThresholdingLoss computes the exact worst-case loss of the
 // thresholding mechanism with threshold t steps. Boundary outputs
-// carry the clamped tail mass.
+// carry the clamped tail mass; interior outputs are translation
+// invariant and ride the O(|Y|+|X|) sliding-window kernel.
 func (a *Analyzer) ThresholdingLoss(t int64) LossReport {
 	if t < 0 {
 		panic("core: negative threshold")
 	}
 	yLo := a.par.LoSteps() - t
 	yHi := a.par.HiSteps() + t
-	return a.scanLoss(yLo, yHi, a.thresholdingCond(t))
+	return a.parallelScan(yLo, yHi, func(lo, hi int64) LossReport {
+		return a.scanThresholdingRange(yLo, yHi, lo, hi)
+	})
 }
 
 func (a *Analyzer) thresholdingCond(t int64) func(y, x int64) float64 {
@@ -298,8 +242,37 @@ func (a *Analyzer) ConstantTimeLoss(t int64, k int) LossReport {
 	}
 	yLo := a.par.LoSteps() - t
 	yHi := a.par.HiSteps() + t
+	miss := a.constantTimeMiss(yLo, yHi, k)
+	// Hoist the per-x tables the kernel indexes: the acceptance
+	// factor scaling every interior cell and the clamp atoms the two
+	// boundary outputs add. The atoms repeat the legacy kernel's
+	// multiplication order (q^(k−1) by running product, then the
+	// one-sided mass) so the sums are bit-identical.
+	accept := make([]float64, len(miss))
+	atomLo := make([]float64, len(miss))
+	atomHi := make([]float64, len(miss))
+	for i, m := range miss {
+		accept[i] = m.accept
+		qk := 1.0
+		for j := 0; j < k-1; j++ {
+			qk *= m.total
+		}
+		atomLo[i] = m.lo * qk
+		atomHi[i] = m.hi * qk
+	}
+	return a.parallelScan(yLo, yHi, func(lo, hi int64) LossReport {
+		return a.scanConstantTimeRange(yLo, yHi, accept, atomLo, atomHi, lo, hi)
+	})
+}
+
+// missSplit is the per-input miss decomposition of the constant-time
+// mechanism: one-sided miss masses, their total, and the acceptance
+// factor (1−q^k)/(1−q).
+type missSplit struct{ lo, hi, total, accept float64 }
+
+// constantTimeMiss tabulates the miss decomposition for every input.
+func (a *Analyzer) constantTimeMiss(yLo, yHi int64, k int) []missSplit {
 	xLo, xHi := a.par.LoSteps(), a.par.HiSteps()
-	type missSplit struct{ lo, hi, total, accept float64 }
 	miss := make([]missSplit, xHi-xLo+1)
 	for x := xLo; x <= xHi; x++ {
 		lo := a.tailAtMost(yLo - x - 1)
@@ -315,22 +288,7 @@ func (a *Analyzer) ConstantTimeLoss(t int64, k int) LossReport {
 		}
 		miss[x-xLo] = missSplit{lo: lo, hi: hi, total: q, accept: f}
 	}
-	return a.scanLoss(yLo, yHi, func(y, x int64) float64 {
-		m := miss[x-xLo]
-		p := a.probK(y-x) * m.accept
-		if y == yLo || y == yHi {
-			qk := 1.0
-			for i := 0; i < k-1; i++ {
-				qk *= m.total
-			}
-			if y == yLo {
-				p += m.lo * qk
-			} else {
-				p += m.hi * qk
-			}
-		}
-		return p
-	})
+	return miss
 }
 
 // LossAt returns the per-output privacy loss of the thresholding
@@ -402,12 +360,15 @@ type LossPoint struct {
 
 // ThresholdingLossProfile returns the per-output loss for outputs
 // from Hi to Hi + t steps (the profile is symmetric about the range,
-// so only the upper side is reported, as in Fig. 8).
+// so only the upper side is reported, as in Fig. 8). The whole
+// profile costs one sliding-window sweep, not t+1 independent LossAt
+// scans.
 func (a *Analyzer) ThresholdingLossProfile(t int64) []LossPoint {
+	yLo, losses := a.lossSweep(t)
 	points := make([]LossPoint, 0, t+1)
 	hi := a.par.HiSteps()
 	for o := int64(0); o <= t; o++ {
-		l := a.LossAt(t, hi+o)
+		l := losses[hi+o-yLo]
 		points = append(points, LossPoint{Offset: o, Loss: l, Normalized: l / a.par.Eps})
 	}
 	return points
@@ -434,10 +395,11 @@ func (a *Analyzer) Segments(t int64, multipliers []float64) []Segment {
 	segs := make([]Segment, 0, len(multipliers))
 	for _, mult := range multipliers {
 		bound := mult * a.par.Eps
-		// Largest offset with every loss up to it within bound.
+		// Largest offset with every loss up to it within bound (up to
+		// a relative rounding tolerance — see lossTol).
 		best := int64(-1)
 		for _, p := range profile {
-			if p.Loss <= bound+1e-12 {
+			if p.Loss <= bound+lossTol(bound) {
 				best = p.Offset
 			} else {
 				break
@@ -452,11 +414,13 @@ func (a *Analyzer) Segments(t int64, multipliers []float64) []Segment {
 
 // InteriorLoss returns the worst per-output loss across outputs that
 // lie inside the sensor range — the ε_RNG charge of Algorithm 1 for
-// in-range reports.
+// in-range reports. Like the profile, it rides one sliding-window
+// sweep over the full output window.
 func (a *Analyzer) InteriorLoss(t int64) float64 {
+	yLo, losses := a.lossSweep(t)
 	worst := 0.0
 	for y := a.par.LoSteps(); y <= a.par.HiSteps(); y++ {
-		if l := a.LossAt(t, y); l > worst {
+		if l := losses[y-yLo]; l > worst {
 			worst = l
 		}
 	}

@@ -22,10 +22,8 @@ func TestParallelScanMatchesSequential(t *testing.T) {
 	}
 	// Parallel result (normal call).
 	par := an.ThresholdingLoss(th)
-	// Sequential reference over the same window.
-	yLo := bigGrid.LoSteps() - th
-	yHi := bigGrid.HiSteps() + th
-	seq := an.scanLossRange(yLo, yHi, an.thresholdingCond(th))
+	// Sequential closure-kernel reference over the same window.
+	seq := an.legacyThresholdingLoss(th)
 	if par != seq {
 		t.Errorf("parallel %+v != sequential %+v", par, seq)
 	}

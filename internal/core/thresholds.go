@@ -143,10 +143,9 @@ func ExactResamplingThreshold(par Params, mult float64) (int64, error) {
 	if mult <= 1 {
 		return 0, fmt.Errorf("core: loss multiplier %g must exceed 1", mult)
 	}
-	an := NewAnalyzer(par)
+	an := CachedAnalyzer(par)
 	ok := func(t int64) bool {
-		r := an.ResamplingLoss(t)
-		return !r.Infinite && r.MaxLoss <= mult*par.Eps+1e-12
+		return an.ResamplingLoss(t).Bounded(mult * par.Eps)
 	}
 	return searchThreshold(par, ok)
 }
@@ -160,10 +159,9 @@ func ExactThresholdingThreshold(par Params, mult float64) (int64, error) {
 	if mult <= 1 {
 		return 0, fmt.Errorf("core: loss multiplier %g must exceed 1", mult)
 	}
-	an := NewAnalyzer(par)
+	an := CachedAnalyzer(par)
 	ok := func(t int64) bool {
-		r := an.ThresholdingLoss(t)
-		return !r.Infinite && r.MaxLoss <= mult*par.Eps+1e-12
+		return an.ThresholdingLoss(t).Bounded(mult * par.Eps)
 	}
 	return searchThreshold(par, ok)
 }
@@ -181,10 +179,9 @@ func ExactConstantTimeThreshold(par Params, mult float64, k int) (int64, error) 
 	if k < 1 {
 		return 0, fmt.Errorf("core: need at least one candidate sample")
 	}
-	an := NewAnalyzer(par)
+	an := CachedAnalyzer(par)
 	return searchThreshold(par, func(t int64) bool {
-		r := an.ConstantTimeLoss(t, k)
-		return !r.Infinite && r.MaxLoss <= mult*par.Eps+1e-12
+		return an.ConstantTimeLoss(t, k).Bounded(mult * par.Eps)
 	})
 }
 

@@ -427,7 +427,7 @@ func (b *DPBox) derive() error {
 		b.segs = nil
 	case b.thOverride >= 0:
 		b.threshold = b.thOverride
-		b.an = core.NewAnalyzer(par)
+		b.an = core.CachedAnalyzer(par)
 	default:
 		var th int64
 		var err error
@@ -443,7 +443,7 @@ func (b *DPBox) derive() error {
 			return err
 		}
 		b.threshold = th
-		b.an = core.NewAnalyzer(par)
+		b.an = core.CachedAnalyzer(par)
 	}
 	if b.an != nil {
 		// Resampling renormalizes each input's conditional by its

@@ -61,7 +61,7 @@ func AblateRNG(cfg Config) (AblateRNGResult, error) {
 		if err == nil {
 			row.Feasible = true
 			row.Threshold = th
-			an := core.NewAnalyzer(par)
+			an := core.CachedAnalyzer(par)
 			row.ExactLoss = an.ThresholdingLoss(th).MaxLoss
 			row.TailMass = d.TailMag(th)
 		}
@@ -189,10 +189,14 @@ func AblateFamily(cfg Config) (AblateFamilyResult, error) {
 		noisedist.Staircase{Eps: par.Eps, D: par.Range(), Gamma: noisedist.OptimalGamma(par.Eps)},
 	}
 	res := AblateFamilyResult{Eps: par.Eps}
+	type famKey struct {
+		Fam noisedist.Family
+		Geo noisedist.Geometry
+	}
 	for _, fam := range fams {
 		d := noisedist.NewDist(fam, geo)
-		pmf, maxK := d.PMF()
-		an := core.NewAnalyzerFromPMF(par, pmf, maxK)
+		an := core.CachedAnalyzerPMF(par, famKey{Fam: fam, Geo: geo}, d.PMF)
+		maxK := an.MaxK()
 		row := AblateFamilyRow{
 			Family:          fam.Name(),
 			MaxK:            maxK,
@@ -268,7 +272,7 @@ func AblateFloat(cfg Config) (AblateFloatResult, error) {
 	if err != nil {
 		return AblateFloatResult{}, err
 	}
-	rep := core.NewAnalyzer(par).ThresholdingLoss(th)
+	rep := core.CachedAnalyzer(par).ThresholdingLoss(th)
 	res.GuardedInfinite = rep.Infinite
 	res.GuardedLoss = rep.MaxLoss
 	return res, nil

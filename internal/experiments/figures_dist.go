@@ -152,7 +152,7 @@ func guardDist(cfg Config, s Setting) (GuardDistResult, error) {
 		return GuardDistResult{}, err
 	}
 	par := fig4Params
-	an := core.NewAnalyzer(par)
+	an := core.CachedAnalyzer(par)
 	var th int64
 	var err error
 	if s == SettingResampling {
@@ -265,7 +265,7 @@ func Figure8(cfg Config) (Fig8Result, error) {
 		return Fig8Result{}, err
 	}
 	par := fig4Params
-	an := core.NewAnalyzer(par)
+	an := core.CachedAnalyzer(par)
 	th, err := core.ThresholdingThreshold(par, cfg.Mult)
 	if err != nil {
 		return Fig8Result{}, err

@@ -138,7 +138,7 @@ func certifyLDP(par core.Params, mult float64) map[Setting]bool {
 	if v, ok := ldpCache[par]; ok {
 		return v
 	}
-	an := core.NewAnalyzer(par)
+	an := core.CachedAnalyzer(par)
 	out := map[Setting]bool{
 		SettingIdeal:    true, // analytic guarantee
 		SettingBaseline: !an.BaselineLoss().Infinite,

@@ -122,12 +122,15 @@ func ThresholdingThreshold(par Params, mult float64) (int64, error) {
 }
 
 // CertifyBaseline enumerates the naive mechanism's exact worst-case
-// privacy loss (expect Infinite == true).
+// privacy loss (expect Infinite == true). Repeated certifications of
+// identical Params share one process-wide analyzer (and its
+// materialized PMF); the analyzer itself is immutable, so Certify
+// calls are safe to issue concurrently.
 func CertifyBaseline(par Params) (LossReport, error) {
 	if err := par.Validate(); err != nil {
 		return LossReport{}, err
 	}
-	return core.NewAnalyzer(par).BaselineLoss(), nil
+	return core.CachedAnalyzer(par).BaselineLoss(), nil
 }
 
 // CertifyThresholding enumerates the thresholding mechanism's exact
@@ -136,7 +139,7 @@ func CertifyThresholding(par Params, threshold int64) (LossReport, error) {
 	if err := par.Validate(); err != nil {
 		return LossReport{}, err
 	}
-	return core.NewAnalyzer(par).ThresholdingLoss(threshold), nil
+	return core.CachedAnalyzer(par).ThresholdingLoss(threshold), nil
 }
 
 // CertifyResampling enumerates the resampling mechanism's exact
@@ -145,7 +148,7 @@ func CertifyResampling(par Params, threshold int64) (LossReport, error) {
 	if err := par.Validate(); err != nil {
 		return LossReport{}, err
 	}
-	return core.NewAnalyzer(par).ResamplingLoss(threshold), nil
+	return core.CachedAnalyzer(par).ResamplingLoss(threshold), nil
 }
 
 // Budget is the Algorithm 1 privacy budget controller.
@@ -209,7 +212,7 @@ func CertifyConstantTime(par Params, threshold int64, candidates int) (LossRepor
 	if err := par.Validate(); err != nil {
 		return LossReport{}, err
 	}
-	return core.NewAnalyzer(par).ConstantTimeLoss(threshold, candidates), nil
+	return core.CachedAnalyzer(par).ConstantTimeLoss(threshold, candidates), nil
 }
 
 // FxPDist is the exact output distribution of the fixed-point Laplace
@@ -255,6 +258,19 @@ func NewFamilyDist(fam NoiseFamily, geo NoiseGeometry) (FamilyDist, error) {
 	return noisedist.NewDist(fam, geo), nil
 }
 
+// familyAnalyzer returns the shared analyzer for a family's exact
+// distribution on par's grid. The cache key is the family value plus
+// its geometry; a hit skips both the PMF enumeration and the analyzer
+// construction, and families whose parameter types are not comparable
+// simply bypass the cache.
+func familyAnalyzer(par Params, d FamilyDist) *core.Analyzer {
+	type familyKey struct {
+		Fam NoiseFamily
+		Geo NoiseGeometry
+	}
+	return core.CachedAnalyzerPMF(par, familyKey{Fam: d.Family(), Geo: d.Geometry()}, d.PMF)
+}
+
 // CertifyFamilyBaseline enumerates the unguarded mechanism's exact
 // worst-case loss for an arbitrary noise family on par's grid
 // (expect Infinite — the Section III-A4 generalization).
@@ -262,8 +278,7 @@ func CertifyFamilyBaseline(par Params, d FamilyDist) (LossReport, error) {
 	if err := par.Validate(); err != nil {
 		return LossReport{}, err
 	}
-	pmf, maxK := d.PMF()
-	return core.NewAnalyzerFromPMF(par, pmf, maxK).BaselineLoss(), nil
+	return familyAnalyzer(par, d).BaselineLoss(), nil
 }
 
 // CertifyFamilyThresholding enumerates the thresholding mechanism's
@@ -273,8 +288,7 @@ func CertifyFamilyThresholding(par Params, d FamilyDist, threshold int64) (LossR
 	if err := par.Validate(); err != nil {
 		return LossReport{}, err
 	}
-	pmf, maxK := d.PMF()
-	return core.NewAnalyzerFromPMF(par, pmf, maxK).ThresholdingLoss(threshold), nil
+	return familyAnalyzer(par, d).ThresholdingLoss(threshold), nil
 }
 
 // Dataset is a Table I dataset descriptor (synthetic regenerator).
