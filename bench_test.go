@@ -11,6 +11,7 @@ import (
 
 	"ulpdp/internal/core"
 	"ulpdp/internal/experiments"
+	"ulpdp/internal/fault"
 	"ulpdp/internal/laplace"
 	"ulpdp/internal/msp430"
 	"ulpdp/internal/urng"
@@ -63,7 +64,10 @@ var benchPar = core.Params{Lo: 0, Hi: 10, Eps: 0.5, Bu: 17, By: 12, Delta: 10.0 
 
 // BenchmarkNoiseIdeal measures one real-valued Laplace report.
 func BenchmarkNoiseIdeal(b *testing.B) {
-	m := core.NewIdealLaplace(benchPar, 1)
+	m, err := core.NewIdealLaplace(benchPar, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.Noise(5)
@@ -73,7 +77,10 @@ func BenchmarkNoiseIdeal(b *testing.B) {
 // BenchmarkNoiseBaselineCordic measures the naive FxP report through
 // the bit-accurate CORDIC datapath.
 func BenchmarkNoiseBaselineCordic(b *testing.B) {
-	m := core.NewBaseline(benchPar, nil, urng.NewTaus88(1))
+	m, err := core.NewBaseline(benchPar, nil, urng.NewTaus88(1))
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.Noise(5)
@@ -87,7 +94,10 @@ func BenchmarkNoiseThresholding(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := core.NewThresholding(benchPar, th, nil, urng.NewTaus88(1))
+	m, err := core.NewThresholding(benchPar, th, nil, urng.NewTaus88(1))
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.Noise(5)
@@ -101,7 +111,10 @@ func BenchmarkNoiseResampling(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := core.NewResampling(benchPar, th, nil, urng.NewTaus88(1))
+	m, err := core.NewResampling(benchPar, th, nil, urng.NewTaus88(1))
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.Noise(10)
@@ -222,6 +235,44 @@ func BenchmarkDPBoxTransaction(b *testing.B) {
 		}
 	}
 }
+
+// benchDPBoxFaultHooks is the fault-hook overhead guard shared by the
+// two benchmarks below: identical transactions, with and without a
+// (quiescent) fault plane installed. The hook contract is zero
+// allocations and within ~2% on time/op; compare the two outputs.
+func benchDPBoxFaultHooks(b *testing.B, withPlane bool) {
+	cfg := DPBoxConfig{}
+	if withPlane {
+		cfg.Faults = fault.NewPlane()
+	}
+	box, err := NewDPBox(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := box.Initialize(1e12, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := box.Configure(1, 0, 32); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := box.NoiseValue(16); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := box.NoiseValue(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPBoxNoHooks is the no-fault-plane baseline.
+func BenchmarkDPBoxNoHooks(b *testing.B) { benchDPBoxFaultHooks(b, false) }
+
+// BenchmarkDPBoxIdleFaultPlane has an installed but empty fault
+// plane: the wrappers are live, the injectors nil.
+func BenchmarkDPBoxIdleFaultPlane(b *testing.B) { benchDPBoxFaultHooks(b, true) }
 
 // BenchmarkMSP430SoftNoise measures the emulated software noising
 // routine (thousands of emulated cycles per call).

@@ -126,28 +126,40 @@ func noiseBenches() []namedBench {
 	}
 	return []namedBench{
 		{"NoiseIdeal", func(b *testing.B) {
-			m := core.NewIdealLaplace(benchPar, 1)
+			m, err := core.NewIdealLaplace(benchPar, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Noise(5)
 			}
 		}},
 		{"NoiseBaselineCordic", func(b *testing.B) {
-			m := core.NewBaseline(benchPar, nil, urng.NewTaus88(1))
+			m, err := core.NewBaseline(benchPar, nil, urng.NewTaus88(1))
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Noise(5)
 			}
 		}},
 		{"NoiseThresholding", func(b *testing.B) {
-			m := core.NewThresholding(benchPar, thT, nil, urng.NewTaus88(1))
+			m, err := core.NewThresholding(benchPar, thT, nil, urng.NewTaus88(1))
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Noise(5)
 			}
 		}},
 		{"NoiseResampling", func(b *testing.B) {
-			m := core.NewResampling(benchPar, thR, nil, urng.NewTaus88(1))
+			m, err := core.NewResampling(benchPar, thR, nil, urng.NewTaus88(1))
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Noise(10)

@@ -157,10 +157,14 @@ func New(par core.Params, cfg Config) (*Controller, error) {
 		tail := laplace.NewDist(par.FxP()).TailMag(threshold)
 		zSlack = -math.Log1p(-2 * tail)
 	}
+	rng, err := laplace.NewSampler(par.FxP(), cfg.Log, cfg.Source)
+	if err != nil {
+		return nil, err
+	}
 	c := &Controller{
 		par:       par,
 		cfg:       cfg,
-		rng:       laplace.NewSampler(par.FxP(), cfg.Log, cfg.Source),
+		rng:       rng,
 		threshold: threshold,
 		interior:  an.InteriorLoss(threshold) + zSlack,
 		segs:      an.Segments(threshold, mults),

@@ -58,6 +58,16 @@ type Analyzer struct {
 	maxK int64
 }
 
+// mustValidate guards the analyzer constructors: they are always
+// called with parameters a mechanism constructor already validated
+// (or test fixtures), so a failure here is a programmer invariant and
+// panics are the documented behaviour (DESIGN.md §6).
+func mustValidate(par Params) {
+	if err := par.Validate(); err != nil {
+		panic(err)
+	}
+}
+
 // NewAnalyzer builds an Analyzer over the fixed-point Laplace RNG
 // implied by par. It panics on invalid parameters or when the
 // configuration is too large to enumerate (B_y beyond any plausible

@@ -119,9 +119,11 @@ func TestAnalyzerFromPMFMatchesNative(t *testing.T) {
 func TestMechanismAccessors(t *testing.T) {
 	// Exercise the small accessors across all mechanism types.
 	type withParams interface{ Params() Params }
-	ms := []Mechanism{
-		NewIdealLaplace(small, 1),
+	ideal, err := NewIdealLaplace(small, 1)
+	if err != nil {
+		t.Fatal(err)
 	}
+	ms := []Mechanism{ideal}
 	for _, m := range ms {
 		if m.Name() == "" {
 			t.Error("empty name")

@@ -61,7 +61,10 @@ func TestConstantTimeMechanismBehaviour(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := NewConstantTime(small, th, 4, nil, urng.NewTaus88(3))
+	m, err := NewConstantTime(small, th, 4, nil, urng.NewTaus88(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Name() != "constant-time" {
 		t.Errorf("name %q", m.Name())
 	}
@@ -87,7 +90,10 @@ func TestConstantTimeMechanismBehaviour(t *testing.T) {
 func TestConstantTimeEmpiricalMatchesAnalysis(t *testing.T) {
 	const k = 3
 	th := int64(18)
-	m := NewConstantTime(small, th, k, laplace.FloatLog{FracBits: 50}, urng.NewTaus88(11))
+	m, err := NewConstantTime(small, th, k, laplace.FloatLog{FracBits: 50}, urng.NewTaus88(11))
+	if err != nil {
+		t.Fatal(err)
+	}
 	an := NewAnalyzer(small)
 	x := small.Hi
 	xs := small.QuantizeInput(x)
@@ -124,9 +130,13 @@ func TestConstantTimeEmpiricalMatchesAnalysis(t *testing.T) {
 }
 
 func TestConstantTimePanics(t *testing.T) {
+	if _, err := NewConstantTime(small, -1, 2, nil, urng.NewTaus88(1)); err == nil {
+		t.Error("negative threshold should be rejected")
+	}
+	if _, err := NewConstantTime(small, 5, 0, nil, urng.NewTaus88(1)); err == nil {
+		t.Error("k=0 should be rejected")
+	}
 	cases := []func(){
-		func() { NewConstantTime(small, -1, 2, nil, urng.NewTaus88(1)) },
-		func() { NewConstantTime(small, 5, 0, nil, urng.NewTaus88(1)) },
 		func() { NewAnalyzer(small).ConstantTimeLoss(-1, 2) },
 		func() { NewAnalyzer(small).ConstantTimeLoss(5, 0) },
 	}

@@ -257,7 +257,10 @@ func TestCoarseRNGHasNoThreshold(t *testing.T) {
 }
 
 func TestIdealMechanism(t *testing.T) {
-	m := NewIdealLaplace(fig4, 7)
+	m, err := NewIdealLaplace(fig4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Name() != "ideal" {
 		t.Errorf("name = %q", m.Name())
 	}
@@ -272,7 +275,10 @@ func TestIdealMechanism(t *testing.T) {
 }
 
 func TestBaselineMechanismOnGrid(t *testing.T) {
-	m := NewBaseline(small, nil, urng.NewTaus88(3))
+	m, err := NewBaseline(small, nil, urng.NewTaus88(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 2000; i++ {
 		r := m.Noise(4)
 		steps := r.Value / small.Delta
@@ -290,7 +296,10 @@ func TestResamplingStaysInWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := NewResampling(small, th, nil, urng.NewTaus88(5))
+	m, err := NewResampling(small, th, nil, urng.NewTaus88(5))
+	if err != nil {
+		t.Fatal(err)
+	}
 	lo := small.Lo - float64(th)*small.Delta
 	hi := small.Hi + float64(th)*small.Delta
 	sawResample := false
@@ -313,7 +322,10 @@ func TestThresholdingClampsToWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := NewThresholding(small, th, nil, urng.NewTaus88(11))
+	m, err := NewThresholding(small, th, nil, urng.NewTaus88(11))
+	if err != nil {
+		t.Fatal(err)
+	}
 	lo := small.Lo - float64(th)*small.Delta
 	hi := small.Hi + float64(th)*small.Delta
 	sawClamp := false
@@ -334,20 +346,23 @@ func TestThresholdingClampsToWindow(t *testing.T) {
 	}
 }
 
-func TestMechanismPanicsOnNegativeThreshold(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewResampling(small, -1, nil, urng.NewTaus88(1))
+func TestMechanismRejectsNegativeThreshold(t *testing.T) {
+	if _, err := NewResampling(small, -1, nil, urng.NewTaus88(1)); err == nil {
+		t.Fatal("expected error for negative resampling threshold")
+	}
+	if _, err := NewThresholding(small, -1, nil, urng.NewTaus88(1)); err == nil {
+		t.Fatal("expected error for negative thresholding threshold")
+	}
 }
 
 func TestResamplingEmpiricalMatchesConditional(t *testing.T) {
 	// The sampled conditional distribution must match the analyzer's
 	// renormalized PMF.
 	th := int64(20)
-	m := NewResampling(small, th, laplace.FloatLog{FracBits: 50}, urng.NewTaus88(13))
+	m, err := NewResampling(small, th, laplace.FloatLog{FracBits: 50}, urng.NewTaus88(13))
+	if err != nil {
+		t.Fatal(err)
+	}
 	an := NewAnalyzer(small)
 	x := small.Hi // extreme input exercises the asymmetric window
 	xs := small.QuantizeInput(x)
@@ -372,7 +387,10 @@ func TestResamplingEmpiricalMatchesConditional(t *testing.T) {
 
 func TestThresholdingEmpiricalBoundaryAtom(t *testing.T) {
 	th := int64(15)
-	m := NewThresholding(small, th, laplace.FloatLog{FracBits: 50}, urng.NewTaus88(17))
+	m, err := NewThresholding(small, th, laplace.FloatLog{FracBits: 50}, urng.NewTaus88(17))
+	if err != nil {
+		t.Fatal(err)
+	}
 	an := NewAnalyzer(small)
 	x := small.Hi
 	xs := small.QuantizeInput(x)
@@ -393,7 +411,10 @@ func TestThresholdingEmpiricalBoundaryAtom(t *testing.T) {
 
 func TestRandomizedResponse(t *testing.T) {
 	par := Params{Lo: 0, Hi: 1, Eps: 1, Bu: 16, By: 12, Delta: 1.0 / 16}
-	m := NewRandomizedResponse(par, nil, urng.NewTaus88(19))
+	m, err := NewRandomizedResponse(par, nil, urng.NewTaus88(19))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Name() != "randomized-response" {
 		t.Errorf("name = %q", m.Name())
 	}

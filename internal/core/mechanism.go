@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 
 	"ulpdp/internal/laplace"
@@ -18,6 +19,10 @@ type Result struct {
 	// Clamped reports whether the thresholding guard clamped the
 	// output to a boundary.
 	Clamped bool
+	// Degraded reports that the resampling guard exhausted its draw
+	// budget and fell back to the thresholding clamp (fail-closed
+	// behaviour under a faulty or adversarial RNG; see DESIGN.md §8).
+	Degraded bool
 }
 
 // Mechanism is a local-DP noising mechanism for scalar sensor values.
@@ -37,11 +42,18 @@ type IdealLaplace struct {
 	src *laplace.Ideal
 }
 
-// NewIdealLaplace returns the reference mechanism. It panics on
-// invalid parameters.
-func NewIdealLaplace(par Params, seed uint64) *IdealLaplace {
-	mustValidate(par)
-	return &IdealLaplace{par: par, src: laplace.NewIdeal(par.Lambda(), seed)}
+// NewIdealLaplace returns the reference mechanism. Parameters are
+// caller configuration: invalid ones are a returned error, not a
+// panic (DESIGN.md §6).
+func NewIdealLaplace(par Params, seed uint64) (*IdealLaplace, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	src, err := laplace.NewIdeal(par.Lambda(), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &IdealLaplace{par: par, src: src}, nil
 }
 
 // Noise implements Mechanism.
@@ -66,10 +78,16 @@ type Baseline struct {
 }
 
 // NewBaseline builds the naive FxP mechanism. log == nil selects the
-// CORDIC datapath. It panics on invalid parameters.
-func NewBaseline(par Params, log laplace.LogUnit, src urng.Source) *Baseline {
-	mustValidate(par)
-	return &Baseline{par: par, rng: laplace.NewSampler(par.FxP(), log, src)}
+// CORDIC datapath. Invalid parameters are a returned error.
+func NewBaseline(par Params, log laplace.LogUnit, src urng.Source) (*Baseline, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	rng, err := laplace.NewSampler(par.FxP(), log, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Baseline{par: par, rng: rng}, nil
 }
 
 // Noise implements Mechanism.
@@ -86,8 +104,10 @@ func (m *Baseline) Params() Params { return m.par }
 
 // maxResampleDraws bounds the resampling loop. The acceptance region
 // always contains the distribution's bulk (more than half the mass
-// for any certified threshold), so the probability of hitting this
-// bound is below 2^-1000; reaching it indicates a wiring bug.
+// for any certified threshold), so an honest RNG hits this bound with
+// probability below 2^-1000; reaching it indicates a faulty or
+// adversarial RNG, and the mechanism degrades to the thresholding
+// clamp instead of looping or panicking (fail closed; DESIGN.md §8).
 const maxResampleDraws = 1024
 
 // Resampling is the first guard of Section III-B: noise is redrawn
@@ -102,30 +122,46 @@ type Resampling struct {
 
 // NewResampling builds the resampling mechanism with threshold t
 // expressed in steps of Δ (use ResamplingThreshold to compute the
-// certified value). It panics on invalid parameters or t < 0.
-func NewResampling(par Params, t int64, log laplace.LogUnit, src urng.Source) *Resampling {
-	mustValidate(par)
-	if t < 0 {
-		panic("core: negative resampling threshold")
+// certified value). Invalid parameters or t < 0 are a returned error.
+func NewResampling(par Params, t int64, log laplace.LogUnit, src urng.Source) (*Resampling, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
 	}
-	return &Resampling{par: par, rng: laplace.NewSampler(par.FxP(), log, src), t: t}
+	if t < 0 {
+		return nil, errors.New("core: negative resampling threshold")
+	}
+	rng, err := laplace.NewSampler(par.FxP(), log, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Resampling{par: par, rng: rng, t: t}, nil
 }
 
 // Threshold returns the threshold in steps.
 func (m *Resampling) Threshold() int64 { return m.t }
 
-// Noise implements Mechanism.
+// Noise implements Mechanism. If the loop exhausts maxResampleDraws —
+// impossible for an honest RNG, so in practice a faulty one — the
+// last sample is clamped to the window edge (the thresholding guard's
+// certified behaviour) and the result is marked Degraded.
 func (m *Resampling) Noise(x float64) Result {
 	xs := m.par.QuantizeInput(x)
 	lo := m.par.LoSteps() - m.t
 	hi := m.par.HiSteps() + m.t
+	var y int64
 	for i := 0; i < maxResampleDraws; i++ {
-		y := xs + m.rng.SampleK()
+		y = xs + m.rng.SampleK()
 		if y >= lo && y <= hi {
 			return Result{Value: m.par.StepValue(y), Resamples: i}
 		}
 	}
-	panic("core: resampling failed to accept after maxResampleDraws")
+	if y < lo {
+		y = lo
+	} else {
+		y = hi
+	}
+	return Result{Value: m.par.StepValue(y), Resamples: maxResampleDraws,
+		Clamped: true, Degraded: true}
 }
 
 // Name implements Mechanism.
@@ -148,13 +184,19 @@ type Thresholding struct {
 // NewThresholding builds the thresholding mechanism with threshold t
 // in steps of Δ (use ThresholdingThreshold for the certified value).
 // t == 0 degenerates into the randomized-response configuration of
-// Section VI-E. It panics on invalid parameters or t < 0.
-func NewThresholding(par Params, t int64, log laplace.LogUnit, src urng.Source) *Thresholding {
-	mustValidate(par)
-	if t < 0 {
-		panic("core: negative thresholding threshold")
+// Section VI-E. Invalid parameters or t < 0 are a returned error.
+func NewThresholding(par Params, t int64, log laplace.LogUnit, src urng.Source) (*Thresholding, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
 	}
-	return &Thresholding{par: par, rng: laplace.NewSampler(par.FxP(), log, src), t: t}
+	if t < 0 {
+		return nil, errors.New("core: negative thresholding threshold")
+	}
+	rng, err := laplace.NewSampler(par.FxP(), log, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Thresholding{par: par, rng: rng, t: t}, nil
 }
 
 // Threshold returns the threshold in steps.
@@ -197,17 +239,23 @@ type ConstantTime struct {
 }
 
 // NewConstantTime builds the constant-time mechanism with threshold t
-// (steps of Δ) and k parallel candidates. It panics on invalid
-// parameters, t < 0, or k < 1.
-func NewConstantTime(par Params, t int64, k int, log laplace.LogUnit, src urng.Source) *ConstantTime {
-	mustValidate(par)
+// (steps of Δ) and k parallel candidates. Invalid parameters, t < 0,
+// or k < 1 are a returned error.
+func NewConstantTime(par Params, t int64, k int, log laplace.LogUnit, src urng.Source) (*ConstantTime, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
 	if t < 0 {
-		panic("core: negative constant-time threshold")
+		return nil, errors.New("core: negative constant-time threshold")
 	}
 	if k < 1 {
-		panic("core: need at least one candidate sample")
+		return nil, errors.New("core: need at least one candidate sample")
 	}
-	return &ConstantTime{par: par, rng: laplace.NewSampler(par.FxP(), log, src), t: t, k: k}
+	rng, err := laplace.NewSampler(par.FxP(), log, src)
+	if err != nil {
+		return nil, err
+	}
+	return &ConstantTime{par: par, rng: rng, t: t, k: k}, nil
 }
 
 // Threshold returns the threshold in steps.
@@ -255,10 +303,17 @@ type RandomizedResponse struct {
 }
 
 // NewRandomizedResponse builds the categorical mechanism. Inputs are
-// snapped to the nearer of {Lo, Hi}. It panics on invalid parameters.
-func NewRandomizedResponse(par Params, log laplace.LogUnit, src urng.Source) *RandomizedResponse {
-	mustValidate(par)
-	return &RandomizedResponse{par: par, rng: laplace.NewSampler(par.FxP(), log, src)}
+// snapped to the nearer of {Lo, Hi}. Invalid parameters are a
+// returned error.
+func NewRandomizedResponse(par Params, log laplace.LogUnit, src urng.Source) (*RandomizedResponse, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	rng, err := laplace.NewSampler(par.FxP(), log, src)
+	if err != nil {
+		return nil, err
+	}
+	return &RandomizedResponse{par: par, rng: rng}, nil
 }
 
 // Noise implements Mechanism. The result Value is always Lo or Hi.
@@ -303,10 +358,4 @@ func (m *RandomizedResponse) FlipProbs() (qLoHi, qHiLo float64) {
 func (m *RandomizedResponse) RREpsilon() float64 {
 	q1, q2 := m.FlipProbs()
 	return math.Max(math.Log((1-q2)/q1), math.Log((1-q1)/q2))
-}
-
-func mustValidate(par Params) {
-	if err := par.Validate(); err != nil {
-		panic(err)
-	}
 }

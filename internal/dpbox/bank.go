@@ -29,7 +29,10 @@ func NewBank(cfg Config, n int, seed uint64) (*Bank, error) {
 	if cfg.Source != nil {
 		return nil, fmt.Errorf("dpbox: bank channels must not share a noise source; leave Config.Source nil")
 	}
-	bank := &Bank{ledger: &budgetLedger{}}
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("dpbox: bank channels must not share a fault plane; inject per channel")
+	}
+	bank := &Bank{ledger: &budgetLedger{j: cfg.Journal}}
 	for i := 0; i < n; i++ {
 		ci := cfg
 		ci.Source = urng.NewTaus88(seed + uint64(i)*0x9E3779B9 + 1)
@@ -69,11 +72,17 @@ func (bk *Bank) Initialize(budgetNats float64, replenishEvery uint64) error {
 }
 
 // Tick advances the Bank's clock (and with it the shared
-// replenishment timer) by n cycles.
+// replenishment timer) by n cycles. If a journal-backed refill fails
+// to become durable (NVM power lost) every channel fails closed.
 func (bk *Bank) Tick(n uint64) {
 	for i := uint64(0); i < n; i++ {
 		bk.cycles++
-		bk.ledger.tick()
+		if !bk.ledger.tick() {
+			for _, box := range bk.boxes {
+				box.powerFail()
+			}
+			return
+		}
 	}
 }
 

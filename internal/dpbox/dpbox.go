@@ -23,8 +23,21 @@ import (
 	"math"
 
 	"ulpdp/internal/core"
+	"ulpdp/internal/cordic"
+	"ulpdp/internal/fault"
 	"ulpdp/internal/laplace"
 	"ulpdp/internal/urng"
+)
+
+// Fail-closed sentinel errors.
+var (
+	// ErrPowerLost reports a command or transaction addressed to a
+	// DP-Box whose power rail failed; volatile state is gone and only
+	// Recover (secure boot) can bring the module back.
+	ErrPowerLost = errors.New("dpbox: power lost")
+	// ErrUnhealthy reports a refused StartNoising: the online URNG
+	// battery is failing and no cached output exists to replay.
+	ErrUnhealthy = errors.New("dpbox: urng health battery failing; noising refused")
 )
 
 // Command is the 3-bit command port encoding.
@@ -90,6 +103,10 @@ const (
 	PhaseWaiting
 	// PhaseNoising computes (and possibly resamples) the output.
 	PhaseNoising
+	// PhaseDead is entered on a power-rail failure: all volatile state
+	// is lost and every port returns ErrPowerLost until the module is
+	// brought back through Recover (secure boot).
+	PhaseDead
 )
 
 // String implements fmt.Stringer.
@@ -101,6 +118,8 @@ func (p Phase) String() string {
 		return "waiting"
 	case PhaseNoising:
 		return "noising"
+	case PhaseDead:
+		return "dead"
 	}
 	return fmt.Sprintf("Phase(%d)", int(p))
 }
@@ -135,6 +154,27 @@ type Config struct {
 	// Candidates is the parallel sampler count for ConstantTime
 	// (default 4; costs RNG area, see hwmodel).
 	Candidates int
+	// Faults is an optional fault plane. When set, the URNG and log
+	// datapaths are routed through its injectors, the command register
+	// can be perturbed, and scheduled power losses kill the module
+	// mid-transaction. Nil costs nothing on the hot path.
+	Faults *fault.Plane
+	// Journal is the optional NVM write-ahead log backing the budget
+	// ledger. With a journal attached every charge runs a two-phase
+	// commit before the output is emitted, and Recover can replay the
+	// log after a power loss without double-spending.
+	Journal *Journal
+	// HealthEvery, when nonzero, runs the urng battery as an online
+	// health gate at StartNoising whenever that many cycles have
+	// passed since the last check. While the battery fails, fresh
+	// noising is refused and only the cache is served.
+	HealthEvery uint64
+	// HealthWords is the sample size per battery run (default 2048,
+	// minimum 1024).
+	HealthWords int
+	// WatchdogDisabled turns off the resample watchdog (testing only;
+	// an adversarial URNG can then stall noising indefinitely).
+	WatchdogDisabled bool
 }
 
 // DefaultConfig mirrors the synthesized 20-bit DP-Box: a 17-bit
@@ -181,6 +221,20 @@ type DPBox struct {
 	sampler   *laplace.Sampler
 	an        *core.Analyzer
 
+	// Resample watchdog (resampling mode): cap on resample cycles and
+	// the certified thresholding clamp the trip degrades to.
+	resampleCap int   // 0 = watchdog off
+	degradeTh   int64 // certified thresholding threshold in steps
+	degradeU    int64 // degrade charge in budget units
+	degradeOK   bool  // degradeTh carries a certificate
+
+	// Fault plane and URNG health gate.
+	fp            *fault.Plane
+	healthy       bool
+	healthChecked bool
+	healthAt      uint64
+	healthRes     []urng.BatteryResult
+
 	// Precomputed noise (waiting phase).
 	pendingK int64
 	haveK    bool
@@ -191,6 +245,7 @@ type DPBox struct {
 	resamples  int // resamples used by the last transaction
 	lastCharge int64
 	fromCache  bool
+	degraded   bool // last transaction tripped the resample watchdog
 	cache      int64
 	haveCache  bool
 
@@ -220,8 +275,23 @@ func New(cfg Config) (*DPBox, error) {
 	if cfg.Candidates < 1 || cfg.Candidates > 16 {
 		return nil, fmt.Errorf("dpbox: candidate count %d out of range [1,16]", cfg.Candidates)
 	}
-	b := &DPBox{cfg: cfg, phase: PhaseInit, thOverride: -1, dirty: true,
-		ledger: &budgetLedger{}, ownTimer: true}
+	if cfg.HealthWords == 0 {
+		cfg.HealthWords = 2048
+	}
+	if cfg.HealthWords < 1024 {
+		return nil, fmt.Errorf("dpbox: health battery sample %d below minimum 1024", cfg.HealthWords)
+	}
+	if fp := cfg.Faults; fp != nil {
+		// Route the datapaths through the fault plane. The wrappers
+		// are built once here; per-draw they cost one nil check.
+		if cfg.Log == nil {
+			cfg.Log = cordic.New(cordic.DefaultConfig)
+		}
+		cfg.Log = fp.WrapLog(cfg.Log)
+		cfg.Source = fp.WrapSource(cfg.Source)
+	}
+	b := &DPBox{cfg: cfg, fp: cfg.Faults, phase: PhaseInit, thOverride: -1, dirty: true,
+		ledger: &budgetLedger{j: cfg.Journal}, ownTimer: true, healthy: true}
 	return b, nil
 }
 
@@ -249,26 +319,40 @@ type budgetLedger struct {
 	replenishEvery uint64
 	since          uint64
 	locked         bool
+	j              *Journal // nil = volatile ledger (no crash consistency)
 }
 
-// tick advances the replenishment timer by one cycle.
-func (l *budgetLedger) tick() {
+// tick advances the replenishment timer by one cycle. False means the
+// journal write backing a refill failed (NVM power lost): the refill
+// must not take effect and the owner must fail closed.
+func (l *budgetLedger) tick() bool {
 	if !l.locked || l.replenishEvery == 0 {
-		return
+		return true
 	}
 	l.since++
 	if l.since >= l.replenishEvery {
+		if l.j != nil && !l.j.appendReplenish() {
+			return false
+		}
 		l.since = 0
 		l.units = l.initial
 	}
+	return true
 }
 
-// charge deducts units, saturating at zero.
-func (l *budgetLedger) charge(units int64) {
+// charge deducts units, saturating at zero. With a journal attached
+// the two-phase record (intent, commit) must be durable before the
+// volatile balance moves; false means it is not, and the caller must
+// not emit the output it was about to charge for.
+func (l *budgetLedger) charge(units int64) bool {
+	if l.j != nil && !l.j.appendCharge(units) {
+		return false
+	}
 	l.units -= units
 	if l.units < 0 {
 		l.units = 0
 	}
+	return true
 }
 
 // BudgetRemaining returns the unspent budget in nats.
@@ -286,7 +370,20 @@ func (b *DPBox) Epsilon() float64 { return math.Ldexp(1, -b.epsShift) }
 // Command presents one command word and data word on the ports; it
 // consumes one clock cycle.
 func (b *DPBox) Command(cmd Command, data int64) error {
+	if b.phase == PhaseDead {
+		return ErrPowerLost
+	}
+	if b.fp != nil {
+		// The command register latches through the fault plane before
+		// the clock edge decodes it.
+		c, d := b.fp.PerturbCommand(uint8(cmd)&7, data)
+		cmd, data = Command(c&7), d
+	}
 	b.tick()
+	if b.phase == PhaseDead {
+		// Power failed on this edge; the command is lost with it.
+		return ErrPowerLost
+	}
 	defer b.trace()
 	switch b.phase {
 	case PhaseInit:
@@ -316,6 +413,10 @@ func (b *DPBox) commandInit(cmd Command, data int64) error {
 	case CmdStartNoising:
 		if b.ledger.initial == 0 {
 			return errors.New("dpbox: budget not configured")
+		}
+		if b.ledger.j != nil && !b.ledger.j.appendConfig(b.ledger.initial, b.ledger.replenishEvery) {
+			b.powerFail()
+			return ErrPowerLost
 		}
 		b.ledger.locked = true
 		b.phase = PhaseWaiting
@@ -355,6 +456,18 @@ func (b *DPBox) commandWaiting(cmd Command, data int64) error {
 		}
 		b.dirty = true
 	case CmdStartNoising:
+		if !b.healthGate() {
+			// Fail closed: no fresh noise from a suspect URNG. The
+			// cache was charged and certified when produced, so
+			// replaying it leaks nothing new.
+			if b.haveCache {
+				b.resamples = 0
+				b.degraded = false
+				b.finish(b.cache, 0, true)
+				return nil
+			}
+			return ErrUnhealthy
+		}
 		if err := b.beginNoising(); err != nil {
 			return err
 		}
@@ -388,8 +501,36 @@ func (b *DPBox) beginNoising() error {
 	b.ready = false
 	b.resamples = 0
 	b.fromCache = false
+	b.degraded = false
 	return nil
 }
+
+// healthGate runs the online URNG battery when due and reports
+// whether fresh noising is allowed. Gating is off (always true) when
+// HealthEvery is zero. A failing battery is re-run on every
+// subsequent StartNoising, so the gate reopens as soon as the fault
+// clears.
+func (b *DPBox) healthGate() bool {
+	if b.cfg.HealthEvery == 0 {
+		return true
+	}
+	if !b.healthChecked || !b.healthy || b.cycles-b.healthAt >= b.cfg.HealthEvery {
+		res, err := urng.RunBattery(b.cfg.Source, b.cfg.HealthWords)
+		b.healthChecked = true
+		b.healthAt = b.cycles
+		b.healthRes = res
+		b.healthy = err == nil && urng.Passed(res)
+	}
+	return b.healthy
+}
+
+// Healthy reports the online URNG battery verdict (true when health
+// gating is disabled or no check has run yet).
+func (b *DPBox) Healthy() bool { return b.cfg.HealthEvery == 0 || b.healthy }
+
+// HealthResults returns the most recent battery run (nil before the
+// first check).
+func (b *DPBox) HealthResults() []urng.BatteryResult { return b.healthRes }
 
 // params assembles the core parameters implied by the registers
 // (Δ = 1: port values are already in steps).
@@ -417,7 +558,9 @@ func (b *DPBox) derive() error {
 	// scaler.
 	hw, err := laplace.NewHWSampler(par.FxP(), b.cfg.Log, b.cfg.Source)
 	if err != nil {
-		hw = laplace.NewSampler(par.FxP(), b.cfg.Log, b.cfg.Source)
+		if hw, err = laplace.NewSampler(par.FxP(), b.cfg.Log, b.cfg.Source); err != nil {
+			return err
+		}
 	}
 	b.sampler = hw
 	switch {
@@ -444,6 +587,19 @@ func (b *DPBox) derive() error {
 		}
 		b.threshold = th
 		b.an = core.CachedAnalyzer(par)
+	}
+	// Resample watchdog: cap the resample loop at a bound derived from
+	// the exact miss probability, and precompute the certified
+	// thresholding clamp the trip degrades to.
+	b.resampleCap, b.degradeOK = 0, false
+	if b.resampling && !b.cfg.ConstantTime && !b.cfg.GuardDisabled && !b.cfg.WatchdogDisabled {
+		pMiss := laplace.NewDist(par.FxP()).TailMag(b.threshold + 1)
+		b.resampleCap = watchdogCap(pMiss)
+		if th, err := core.ThresholdingThreshold(par, b.cfg.Mult); err == nil {
+			b.degradeTh = th
+			b.degradeU = ceilUnits(b.cfg.Mult * par.Eps)
+			b.degradeOK = true
+		}
 	}
 	if b.an != nil {
 		// Resampling renormalizes each input's conditional by its
@@ -494,6 +650,33 @@ func (b *DPBox) derive() error {
 	return nil
 }
 
+// watchdogCap converts the per-cycle miss probability of the resample
+// loop into the watchdog's cycle cap: the smallest n with
+// pMiss^n ≤ 2^-64, clamped to [4, 2048]. An honest URNG therefore
+// trips the watchdog with probability at most 2^-64 per transaction;
+// any trip in practice indicates a faulty or adversarial RNG, and the
+// transaction degrades to the certified thresholding clamp instead of
+// looping forever.
+func watchdogCap(pMiss float64) int {
+	const failBits = 64
+	if !(pMiss > 0) {
+		// A miss is impossible for an honest RNG; keep a small cap as
+		// a backstop against fault-induced misses.
+		return 4
+	}
+	if pMiss >= 1 {
+		return 2048
+	}
+	n := int(math.Ceil(failBits * math.Ln2 / -math.Log(pMiss)))
+	if n < 4 {
+		n = 4
+	}
+	if n > 2048 {
+		n = 2048
+	}
+	return n
+}
+
 func ceilUnits(nats float64) int64 {
 	// Infinite or absurd losses saturate to the budget-draining
 	// charge: converting +Inf to int64 directly would wrap negative
@@ -531,9 +714,16 @@ func (b *DPBox) chargeUnitsFor(y int64) int64 {
 	return b.topU
 }
 
-// Step advances the clock one cycle.
+// Step advances the clock one cycle. A dead module has no clock; the
+// call is a no-op.
 func (b *DPBox) Step() {
+	if b.phase == PhaseDead {
+		return
+	}
 	b.tick()
+	if b.phase == PhaseDead {
+		return
+	}
 	defer b.trace()
 	switch b.phase {
 	case PhaseWaiting:
@@ -548,11 +738,28 @@ func (b *DPBox) Step() {
 	}
 }
 
-// tick advances time bookkeeping common to every cycle.
+// tick advances time bookkeeping common to every cycle: the fault
+// plane's power schedule and the replenishment timer.
 func (b *DPBox) tick() {
 	b.cycles++
-	if b.ownTimer {
-		b.ledger.tick()
+	if b.fp != nil && b.fp.Tick() {
+		b.powerFail()
+		return
+	}
+	if b.ownTimer && !b.ledger.tick() {
+		b.powerFail()
+	}
+}
+
+// powerFail kills the module: volatile state is gone, the NVM journal
+// stops accepting writes, and every port returns ErrPowerLost until
+// Recover.
+func (b *DPBox) powerFail() {
+	b.phase = PhaseDead
+	b.ready = false
+	b.haveK = false
+	if b.ledger.j != nil {
+		b.ledger.j.Kill()
 	}
 }
 
@@ -597,6 +804,10 @@ func (b *DPBox) noisingCycle() {
 		}
 		if y < lo || y > hi {
 			b.resamples++
+			if b.resampleCap > 0 && b.resamples >= b.resampleCap {
+				b.degrade(y)
+				return
+			}
 			return // next cycle draws a fresh sample
 		}
 		b.finish(y, b.chargeUnitsFor(y), false)
@@ -624,9 +835,60 @@ func (b *DPBox) noisingCycle() {
 	b.finish(y, charge, false)
 }
 
+// degrade is the resample watchdog's trip handler: the loop has used
+// its full cycle budget, so the RNG is suspect and the transaction
+// falls back to a distribution that is certified without any
+// acceptance assumption. With a certified thresholding threshold
+// available the last sample is clamped into its window and charged
+// the thresholding top band (≥ Mult·ε, which the analyzer certifies
+// as the worst case); otherwise the module fails closed onto the
+// cache.
+func (b *DPBox) degrade(y int64) {
+	b.degraded = true
+	if !b.degradeOK {
+		if b.haveCache {
+			b.finish(b.cache, 0, true)
+		} else {
+			b.finish(b.rangeLower, 0, true)
+		}
+		return
+	}
+	charge := b.topU
+	if b.degradeU > charge {
+		charge = b.degradeU
+	}
+	lo := b.rangeLower - b.degradeTh
+	hi := b.rangeUpper + b.degradeTh
+	if y < lo {
+		y = lo
+	}
+	if y > hi {
+		y = hi
+	}
+	b.finish(y, charge, false)
+}
+
+// ResampleCap returns the watchdog's resample-cycle cap (0 when the
+// watchdog is inactive). Valid after the first noising transaction.
+func (b *DPBox) ResampleCap() int { return b.resampleCap }
+
+// DegradeThreshold returns the certified thresholding clamp the
+// watchdog degrades to, and whether one is available.
+func (b *DPBox) DegradeThreshold() (int64, bool) { return b.degradeTh, b.degradeOK }
+
+// LastDegraded reports whether the most recent transaction tripped
+// the resample watchdog.
+func (b *DPBox) LastDegraded() bool { return b.degraded }
+
 func (b *DPBox) finish(y, chargeU int64, fromCache bool) {
 	if !fromCache {
-		b.ledger.charge(chargeU)
+		if !b.ledger.charge(chargeU) {
+			// The two-phase journal write did not become durable: NVM
+			// power is gone. Fail closed — no output is emitted for a
+			// charge that was never committed.
+			b.powerFail()
+			return
+		}
 		b.cache = y
 		b.haveCache = true
 	}
@@ -649,6 +911,10 @@ type NoiseResult struct {
 	Charged float64
 	// FromCache reports a replayed cached output.
 	FromCache bool
+	// Degraded reports that the resample watchdog tripped and the
+	// output came from the certified thresholding clamp instead of
+	// the resampling loop.
+	Degraded bool
 }
 
 // NoiseValue drives a full transaction: load the sensor value, start
@@ -668,6 +934,9 @@ func (b *DPBox) NoiseValue(x int64) (NoiseResult, error) {
 	}
 	cycles++
 	for !b.ready {
+		if b.phase == PhaseDead {
+			return NoiseResult{}, ErrPowerLost
+		}
 		b.Step()
 		cycles++
 		if cycles > 4096 {
@@ -684,6 +953,7 @@ func (b *DPBox) NoiseValue(x int64) (NoiseResult, error) {
 		Resamples: b.resamples,
 		Charged:   charge,
 		FromCache: b.fromCache,
+		Degraded:  b.degraded,
 	}, nil
 }
 

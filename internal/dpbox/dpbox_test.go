@@ -430,7 +430,10 @@ func TestDistributionMatchesCoreMechanism(t *testing.T) {
 		t.Fatal(err)
 	}
 	par := core.Params{Lo: 0, Hi: 16, Eps: 0.5, Bu: 12, By: 10, Delta: 1}
-	ref := core.NewThresholding(par, b.Threshold(), nil, urng.NewTaus88(99))
+	ref, err := core.NewThresholding(par, b.Threshold(), nil, urng.NewTaus88(99))
+	if err != nil {
+		t.Fatal(err)
+	}
 	const n = 120000
 	counts := map[int64]int{}
 	refCounts := map[int64]int{}

@@ -3,6 +3,7 @@ package dpbox
 import (
 	"testing"
 
+	"ulpdp/internal/fault"
 	"ulpdp/internal/urng"
 )
 
@@ -102,4 +103,47 @@ func TestBudgetNeverIncreasesWithoutReplenish(t *testing.T) {
 		}
 		prev = cur
 	}
+}
+
+// FuzzCommandPortFaults drives the DP-Box command port through an
+// adversarial register-fault injector with a fuzzed command stream:
+// whatever bits flip on the command bus, the module must never panic,
+// never wedge in the noising phase, and never let the locked budget
+// grow.
+func FuzzCommandPortFaults(f *testing.F) {
+	f.Add(uint8(1), int64(1), uint8(1), []byte{0x33, 0x01, 0x04, 0x10, 0x05, 0x00, 0x01, 0x08})
+	f.Add(uint8(7), int64(-1), uint8(3), []byte{0x01, 0x7F, 0x06, 0xFF, 0x03, 0x08, 0x01, 0x00})
+	f.Add(uint8(4), int64(256), uint8(2), []byte{0x02, 0x01, 0x05, 0x00, 0x04, 0x10, 0x03, 0x05, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, cmdMask uint8, dataMask int64, period uint8, prog []byte) {
+		fp := fault.NewPlane()
+		fp.SetCommandFault(fault.CommandBitFlip(cmdMask&7, dataMask, uint64(period%8)))
+		box, err := New(Config{Bu: 12, By: 10, Mult: 2, Source: urng.NewTaus88(7), Faults: fp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = box.Initialize(4, 0) // a faulted boot may legitimately not lock
+		for i := 0; i+1 < len(prog); i += 2 {
+			cmd := Command(prog[i] & 7)
+			data := int64(int8(prog[i+1]))
+			_ = box.Command(cmd, data)
+			// Once the budget is locked (init phase left), nothing on
+			// the command bus — however faulted — may push the balance
+			// above the locked initial value: charges only debit and a
+			// replenish restores at most the initial.
+			if box.Phase() != PhaseInit {
+				if cap := float64(box.ledger.initial) * chargeUnit; box.BudgetRemaining() > cap+1e-9 {
+					t.Fatalf("budget %g exceeds locked initial %g under command faults", box.BudgetRemaining(), cap)
+				}
+			}
+			if box.Phase() == PhaseNoising {
+				// Drain the transaction; the resample watchdog bounds it.
+				for s := 0; s < 4096 && box.Phase() == PhaseNoising; s++ {
+					box.Step()
+				}
+				if box.Phase() == PhaseNoising {
+					t.Fatal("box wedged in the noising phase")
+				}
+			}
+		}
+	})
 }

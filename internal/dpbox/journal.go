@@ -1,0 +1,300 @@
+package dpbox
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Journal is the DP-Box budget ledger's write-ahead log, modelling a
+// small append-only NVM region with 16-bit word-granular writes. Power
+// can fail between any two word writes (FailAfterWrites), leaving a
+// torn record at the tail; the replay parser stops at the first record
+// that is truncated or fails its checksum, so a torn tail is
+// indistinguishable from "never written" — exactly the atomicity the
+// two-phase charge protocol needs.
+//
+// Record format (each field one 16-bit word):
+//
+//	hdr      tag<<12 | seq (seq is a 12-bit wrapping sequence number)
+//	payload  0, 1 or 4 words depending on tag (64-bit values are 4
+//	         little-endian 16-bit words)
+//	chk      xor of hdr and payload words, xor 0x5AA5
+//
+// Tags:
+//
+//	config      payload initialUnits(4) replenishEvery(4): written when
+//	            the budget configuration is locked at secure boot
+//	intent      payload chargeUnits(4): phase 1 of a charge
+//	commit      no payload: phase 2; the charge whose intent has the
+//	            same seq and immediately precedes it is durable
+//	replenish   no payload: timer refill to initialUnits
+//	checkpoint  payload units(4): absolute balance snapshot, written by
+//	            recovery when compacting the log
+//
+// A charge is applied at replay only when its intent is directly
+// followed by a matching commit; an intent without its commit is
+// rolled back. The DP-Box emits an output only after the commit word
+// is durable, so replaying a power-loss trace at every cut point can
+// lose at most one fully-charged-but-unemitted output and can never
+// double-spend or emit an uncharged output.
+type Journal struct {
+	words []uint16
+	seq   uint16
+
+	// failAfter counts down remaining allowed word writes; -1 means no
+	// scheduled failure. dead latches once the NVM supply is lost.
+	failAfter int
+	dead      bool
+}
+
+// NewJournal returns an empty, powered journal.
+func NewJournal() *Journal { return &Journal{failAfter: -1} }
+
+// journal record tags.
+const (
+	tagConfig     = 1
+	tagIntent     = 2
+	tagCommit     = 3
+	tagReplenish  = 4
+	tagCheckpoint = 5
+)
+
+const chkSalt = 0x5AA5
+
+// payloadLen returns the payload word count for a tag, or -1 for an
+// unknown tag.
+func payloadLen(tag uint16) int {
+	switch tag {
+	case tagConfig:
+		return 8
+	case tagIntent, tagCheckpoint:
+		return 4
+	case tagCommit, tagReplenish:
+		return 0
+	}
+	return -1
+}
+
+func checksum(hdr uint16, payload []uint16) uint16 {
+	c := hdr ^ uint16(chkSalt)
+	for _, w := range payload {
+		c ^= w
+	}
+	return c
+}
+
+func enc64(v int64) [4]uint16 {
+	u := uint64(v)
+	return [4]uint16{uint16(u), uint16(u >> 16), uint16(u >> 32), uint16(u >> 48)}
+}
+
+func dec64(w []uint16) int64 {
+	return int64(uint64(w[0]) | uint64(w[1])<<16 | uint64(w[2])<<32 | uint64(w[3])<<48)
+}
+
+// put writes one word, honoring the scheduled power failure. It
+// reports whether the word became durable.
+func (j *Journal) put(w uint16) bool {
+	if j.dead {
+		return false
+	}
+	if j.failAfter == 0 {
+		j.dead = true
+		return false
+	}
+	if j.failAfter > 0 {
+		j.failAfter--
+	}
+	j.words = append(j.words, w)
+	return true
+}
+
+// appendRecord writes hdr, payload and checksum word by word. False
+// means power failed partway: the tail is torn and the journal dead.
+func (j *Journal) appendRecord(tag uint16, payload []uint16) bool {
+	hdr := tag<<12 | (j.seq & 0x0FFF)
+	j.seq++
+	if !j.put(hdr) {
+		return false
+	}
+	for _, w := range payload {
+		if !j.put(w) {
+			return false
+		}
+	}
+	return j.put(checksum(hdr, payload))
+}
+
+func (j *Journal) appendConfig(initialUnits int64, replenishEvery uint64) bool {
+	a, b := enc64(initialUnits), enc64(int64(replenishEvery))
+	return j.appendRecord(tagConfig, []uint16{a[0], a[1], a[2], a[3], b[0], b[1], b[2], b[3]})
+}
+
+// appendCharge runs the two-phase protocol: intent then commit. Only
+// after both records are durable may the caller apply the charge and
+// emit the output.
+func (j *Journal) appendCharge(units int64) bool {
+	p := enc64(units)
+	seq := j.seq // intent and commit share the sequence number
+	if !j.appendRecord(tagIntent, p[:]) {
+		return false
+	}
+	j.seq = seq // commit reuses the intent's seq for pairing
+	return j.appendRecord(tagCommit, nil)
+}
+
+func (j *Journal) appendReplenish() bool {
+	return j.appendRecord(tagReplenish, nil)
+}
+
+func (j *Journal) appendCheckpoint(units int64) bool {
+	p := enc64(units)
+	return j.appendRecord(tagCheckpoint, p[:])
+}
+
+// FailAfterWrites schedules a power failure after n more successful
+// word writes (n = 0 kills the next write). Pass a negative n to
+// disarm.
+func (j *Journal) FailAfterWrites(n int) {
+	if n < 0 {
+		j.failAfter = -1
+		return
+	}
+	j.failAfter = n
+}
+
+// Kill drops NVM power immediately; all further writes fail.
+func (j *Journal) Kill() { j.dead = true }
+
+// Alive reports whether the journal still accepts writes.
+func (j *Journal) Alive() bool { return !j.dead }
+
+// revive restores power to the journal (secure boot).
+func (j *Journal) revive() {
+	j.dead = false
+	j.failAfter = -1
+}
+
+// Writes returns the number of durable words.
+func (j *Journal) Writes() int { return len(j.words) }
+
+// Snapshot returns a copy of the durable words (test introspection).
+func (j *Journal) Snapshot() []uint16 {
+	return append([]uint16(nil), j.words...)
+}
+
+// LedgerState is the budget ledger state reconstructed by Replay.
+type LedgerState struct {
+	// Configured reports whether a config record was recovered; false
+	// means the box died before the budget lock and boots fresh.
+	Configured bool
+	// InitialUnits is the locked budget in sixteenth-nat units.
+	InitialUnits int64
+	// Units is the recovered remaining budget.
+	Units int64
+	// ReplenishEvery is the locked replenishment period in cycles.
+	ReplenishEvery uint64
+}
+
+// Replay reconstructs the ledger from the durable words. A truncated
+// or checksum-failing tail record ends the scan silently (that is the
+// torn write the protocol is designed around); structurally impossible
+// sequences return an error.
+func (j *Journal) Replay() (LedgerState, error) {
+	var st LedgerState
+	var pendAmt int64
+	var pendSeq uint16
+	pending := false
+	w := j.words
+	for i := 0; i < len(w); {
+		hdr := w[i]
+		tag, seq := hdr>>12, hdr&0x0FFF
+		n := payloadLen(tag)
+		if n < 0 || i+1+n+1 > len(w) {
+			break // torn or trailing-garbage tail
+		}
+		payload := w[i+1 : i+1+n]
+		if w[i+1+n] != checksum(hdr, payload) {
+			break // torn tail
+		}
+		if !st.Configured && tag != tagConfig {
+			return st, fmt.Errorf("dpbox: journal record tag %d before config", tag)
+		}
+		switch tag {
+		case tagConfig:
+			if st.Configured {
+				return st, errors.New("dpbox: duplicate journal config record")
+			}
+			st.Configured = true
+			st.InitialUnits = dec64(payload[0:4])
+			st.ReplenishEvery = uint64(dec64(payload[4:8]))
+			st.Units = st.InitialUnits
+		case tagIntent:
+			pending, pendSeq, pendAmt = true, seq, dec64(payload)
+		case tagCommit:
+			if pending && seq == pendSeq {
+				st.Units -= pendAmt
+				if st.Units < 0 {
+					st.Units = 0
+				}
+			}
+			pending = false
+		case tagReplenish:
+			pending = false
+			st.Units = st.InitialUnits
+		case tagCheckpoint:
+			pending = false
+			st.Units = dec64(payload)
+		}
+		i += 1 + n + 1
+	}
+	return st, nil
+}
+
+// compact rewrites the journal as a fresh config + checkpoint pair,
+// bounding NVM growth across power cycles.
+func (j *Journal) compact(st LedgerState) error {
+	j.words = j.words[:0]
+	j.seq = 0
+	if !j.appendConfig(st.InitialUnits, st.ReplenishEvery) || !j.appendCheckpoint(st.Units) {
+		return errors.New("dpbox: journal compaction failed (NVM dead)")
+	}
+	return nil
+}
+
+// Recover is the secure-boot path after a power loss: it replays the
+// journal, compacts it, and powers up a DP-Box with the recovered
+// ledger. If the journal predates the budget lock the box boots fresh
+// in the initialization phase. The replenishment timer restarts at
+// zero — the conservative direction, since delaying a refill never
+// overspends. cfg.Journal is overridden with j.
+func Recover(cfg Config, j *Journal) (*DPBox, error) {
+	if j == nil {
+		return nil, errors.New("dpbox: recovery requires a journal")
+	}
+	j.revive()
+	st, err := j.Replay()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Journal = j
+	b, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Configured {
+		j.words = j.words[:0] // discard any torn pre-lock tail
+		j.seq = 0
+		return b, nil
+	}
+	if err := j.compact(st); err != nil {
+		return nil, err
+	}
+	b.ledger.initial = st.InitialUnits
+	b.ledger.units = st.Units
+	b.ledger.replenishEvery = st.ReplenishEvery
+	b.ledger.since = 0
+	b.ledger.locked = true
+	b.phase = PhaseWaiting
+	return b, nil
+}

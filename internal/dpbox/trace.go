@@ -16,6 +16,11 @@ type TraceState struct {
 	BudgetUnits int64
 	Resampling  bool
 	FromCache   bool
+	// Degraded mirrors NoiseResult.Degraded: the resample watchdog
+	// tripped and the output came from the certified clamp.
+	Degraded bool
+	// Healthy mirrors the online URNG battery verdict.
+	Healthy bool
 }
 
 // Tracer observes the module cycle by cycle.
@@ -40,6 +45,8 @@ func (b *DPBox) trace() {
 		BudgetUnits: b.ledger.units,
 		Resampling:  b.resampling,
 		FromCache:   b.fromCache,
+		Degraded:    b.degraded,
+		Healthy:     b.Healthy(),
 	})
 }
 
@@ -54,6 +61,8 @@ type VCDTracer struct {
 	budget *vcd.Signal
 	resamp *vcd.Signal
 	cache  *vcd.Signal
+	degr   *vcd.Signal
+	health *vcd.Signal
 }
 
 // NewVCDTracer builds a tracer writing a waveform to out.
@@ -68,6 +77,8 @@ func NewVCDTracer(out io.Writer) (*VCDTracer, error) {
 		budget: w.Signal("budget_units", 32),
 		resamp: w.Signal("mode_resampling", 1),
 		cache:  w.Signal("from_cache", 1),
+		degr:   w.Signal("degraded", 1),
+		health: w.Signal("urng_healthy", 1),
 	}
 	if err := w.Begin(); err != nil {
 		return nil, err
@@ -85,6 +96,8 @@ func (t *VCDTracer) Cycle(cycle uint64, s TraceState) {
 	t.budget.Set(uint64(s.BudgetUnits) & 0xFFFFFFFF)
 	t.resamp.Set(boolBit(s.Resampling))
 	t.cache.Set(boolBit(s.FromCache))
+	t.degr.Set(boolBit(s.Degraded))
+	t.health.Set(boolBit(s.Healthy))
 }
 
 // Close flushes the waveform.

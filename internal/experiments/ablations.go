@@ -194,7 +194,10 @@ func AblateFamily(cfg Config) (AblateFamilyResult, error) {
 		Geo noisedist.Geometry
 	}
 	for _, fam := range fams {
-		d := noisedist.NewDist(fam, geo)
+		d, err := noisedist.NewDist(fam, geo)
+		if err != nil {
+			return AblateFamilyResult{}, err
+		}
 		an := core.CachedAnalyzerPMF(par, famKey{Fam: fam, Geo: geo}, d.PMF)
 		maxK := an.MaxK()
 		row := AblateFamilyRow{
@@ -396,12 +399,18 @@ func AblateLog(cfg Config) (AblateLogResult, error) {
 		return AblateLogResult{}, err
 	}
 	par := fig4Params.FxP()
-	exact := laplace.NewSampler(par, laplace.FloatLog{FracBits: 50}, urng.NewTaus88(1))
+	exact, err := laplace.NewSampler(par, laplace.FloatLog{FracBits: 50}, urng.NewTaus88(1))
+	if err != nil {
+		return AblateLogResult{}, err
+	}
 	draws := 1 << par.Bu
 	res := AblateLogResult{Draws: draws}
 	for _, iters := range []int{8, 12, 16, 20, 24, 30} {
 		c := cordic.New(cordic.Config{Iterations: iters, Frac: 40})
-		s := laplace.NewSampler(par, c, urng.NewTaus88(1))
+		s, err := laplace.NewSampler(par, c, urng.NewTaus88(1))
+		if err != nil {
+			return AblateLogResult{}, err
+		}
 		var mismatches int
 		var maxErr int64
 		for m := uint64(1); m <= uint64(draws); m++ {

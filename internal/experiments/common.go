@@ -163,21 +163,37 @@ func (s Setting) LDP() bool { return s != SettingBaseline }
 func mechanismFor(s Setting, par core.Params, mult float64, seed uint64) (core.Mechanism, error) {
 	switch s {
 	case SettingIdeal:
-		return core.NewIdealLaplace(par, seed), nil
+		m, err := core.NewIdealLaplace(par, seed)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
 	case SettingBaseline:
-		return core.NewBaseline(par, nil, urng.NewTaus88(seed)), nil
+		m, err := core.NewBaseline(par, nil, urng.NewTaus88(seed))
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
 	case SettingResampling:
 		th, err := core.ResamplingThreshold(par, mult)
 		if err != nil {
 			return nil, err
 		}
-		return core.NewResampling(par, th, nil, urng.NewTaus88(seed)), nil
+		m, err := core.NewResampling(par, th, nil, urng.NewTaus88(seed))
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
 	case SettingThresholding:
 		th, err := core.ThresholdingThreshold(par, mult)
 		if err != nil {
 			return nil, err
 		}
-		return core.NewThresholding(par, th, nil, urng.NewTaus88(seed)), nil
+		m, err := core.NewThresholding(par, th, nil, urng.NewTaus88(seed))
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown setting %d", int(s))
 }

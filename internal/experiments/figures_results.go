@@ -81,7 +81,10 @@ func Figure13(cfg Config) (Fig13Result, error) {
 	}
 
 	if err := average("no budget", 0, func(r int) (attack.Requester, error) {
-		mech := core.NewThresholding(par, th, fastLog, urng.NewTaus88(cfg.Seed+uint64(r)))
+		mech, err := core.NewThresholding(par, th, fastLog, urng.NewTaus88(cfg.Seed+uint64(r)))
+		if err != nil {
+			return nil, err
+		}
 		return func() (float64, error) { return mech.Noise(truth).Value, nil }, nil
 	}); err != nil {
 		return Fig13Result{}, err
@@ -155,7 +158,10 @@ func Figure14(cfg Config) (Fig14Result, error) {
 	// Binary attribute (e.g. the Statlog dataset's sex column):
 	// categories {0, 1} with a 68% positive rate.
 	par := core.Params{Lo: 0, Hi: 1, Eps: cfg.Eps, Bu: rngBu, By: rngBy, Delta: 1.0 / 64}
-	mech := core.NewRandomizedResponse(par, fastLog, urng.NewTaus88(cfg.Seed))
+	mech, err := core.NewRandomizedResponse(par, fastLog, urng.NewTaus88(cfg.Seed))
+	if err != nil {
+		return Fig14Result{}, err
+	}
 	q1, q2 := mech.FlipProbs()
 	res := Fig14Result{FlipProb: (q1 + q2) / 2, RREps: mech.RREpsilon()}
 	rng := urng.NewSplitMix64(cfg.Seed)
@@ -285,21 +291,37 @@ const coarseMult = 4.0
 func mechanismForMult(s Setting, par core.Params, mult float64, seed uint64) (core.Mechanism, error) {
 	switch s {
 	case SettingIdeal:
-		return core.NewIdealLaplace(par, seed), nil
+		m, err := core.NewIdealLaplace(par, seed)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
 	case SettingBaseline:
-		return core.NewBaseline(par, fastLog, urng.NewTaus88(seed)), nil
+		m, err := core.NewBaseline(par, fastLog, urng.NewTaus88(seed))
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
 	case SettingResampling:
 		th, err := core.ResamplingThreshold(par, mult)
 		if err != nil {
 			return nil, err
 		}
-		return core.NewResampling(par, th, fastLog, urng.NewTaus88(seed)), nil
+		m, err := core.NewResampling(par, th, fastLog, urng.NewTaus88(seed))
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
 	default:
 		th, err := core.ThresholdingThreshold(par, mult)
 		if err != nil {
 			return nil, err
 		}
-		return core.NewThresholding(par, th, fastLog, urng.NewTaus88(seed)), nil
+		m, err := core.NewThresholding(par, th, fastLog, urng.NewTaus88(seed))
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
 	}
 }
 

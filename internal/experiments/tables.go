@@ -245,9 +245,14 @@ func TableVI(cfg Config) (TableVIResult, error) {
 					return TableVIResult{}, err
 				}
 				src := urng.NewTaus88(cfg.Seed + uint64(ei*10+r))
-				data = svm.NoiseFeatures(train, func(int) core.Mechanism {
-					return core.NewThresholding(par, th, fastLog, src)
-				})
+				mech, err := core.NewThresholding(par, th, fastLog, src)
+				if err != nil {
+					return TableVIResult{}, err
+				}
+				// One mechanism shared across columns: the noise stream
+				// lives in src, so this draws the same sequence the
+				// per-column construction used to.
+				data = svm.NoiseFeatures(train, func(int) core.Mechanism { return mech })
 			}
 			for si, n := range sizes {
 				sub := svm.Dataset{X: data.X[:n], Y: data.Y[:n]}

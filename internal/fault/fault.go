@@ -1,0 +1,290 @@
+// Package fault is the injectable fault plane for the DP-Box pipeline.
+//
+// A *Plane carries at most one injector per fault site — the URNG word
+// stream, the CORDIC/log datapath, the command register, and the power
+// rail — and is threaded through the simulator by the owning component
+// (dpbox wires it into urng.Source and laplace.LogUnit wrappers and
+// into its command decoder and cycle counter). Every hook is
+// zero-cost-when-nil: with no injector installed a wrapped call is one
+// pointer load and a nil compare on top of the real draw, and nothing
+// allocates on the hot path.
+//
+// The plane is deliberately single-owner, single-goroutine state, like
+// the cycle-level simulator it perturbs. It is not safe for concurrent
+// use.
+package fault
+
+// Kind labels a fault site for the injection counters.
+type Kind int
+
+const (
+	// KindURNG counts perturbed uniform random words.
+	KindURNG Kind = iota
+	// KindLog counts perturbed CORDIC/log outputs.
+	KindLog
+	// KindCommand counts perturbed command-register transactions.
+	KindCommand
+	// KindPower counts delivered power-loss events.
+	KindPower
+
+	kindCount
+)
+
+// String names the fault site.
+func (k Kind) String() string {
+	switch k {
+	case KindURNG:
+		return "urng"
+	case KindLog:
+		return "log"
+	case KindCommand:
+		return "command"
+	case KindPower:
+		return "power"
+	}
+	return "unknown"
+}
+
+// URNGFault perturbs one uniform random word. cycle is the owning
+// device's cycle counter at the time of the draw.
+type URNGFault func(cycle uint64, word uint32) uint32
+
+// LogFault perturbs one raw fixed-point log/CORDIC output.
+type LogFault func(cycle uint64, raw int64) int64
+
+// CommandFault perturbs one command-port transaction (3-bit opcode
+// plus data word) before the device decodes it.
+type CommandFault func(cycle uint64, cmd uint8, data int64) (uint8, int64)
+
+// Plane is one device's fault plane. The zero value (and a nil *Plane)
+// injects nothing.
+type Plane struct {
+	cycle uint64
+
+	urngFault URNGFault
+	logFault  LogFault
+	cmdFault  CommandFault
+
+	powerArmed bool
+	powerCycle uint64
+
+	counts [kindCount]uint64
+}
+
+// NewPlane returns an empty fault plane.
+func NewPlane() *Plane { return &Plane{} }
+
+// SetURNGFault installs (or, with nil, removes) the URNG injector.
+func (p *Plane) SetURNGFault(f URNGFault) { p.urngFault = f }
+
+// SetLogFault installs (or removes) the CORDIC/log injector.
+func (p *Plane) SetLogFault(f LogFault) { p.logFault = f }
+
+// SetCommandFault installs (or removes) the command-register injector.
+func (p *Plane) SetCommandFault(f CommandFault) { p.cmdFault = f }
+
+// SchedulePowerLoss arms a power-loss event at the given device cycle
+// (0-based: cycle 0 kills the first tick). At most one event is armed
+// at a time; re-arming replaces the previous schedule.
+func (p *Plane) SchedulePowerLoss(cycle uint64) {
+	p.powerArmed = true
+	p.powerCycle = cycle
+}
+
+// DisarmPowerLoss cancels a scheduled power loss.
+func (p *Plane) DisarmPowerLoss() { p.powerArmed = false }
+
+// Tick advances the plane's cycle counter and reports whether the
+// power rail fails on this cycle. The owning device calls it once per
+// device cycle and must treat a true return as an immediate loss of
+// all volatile state.
+func (p *Plane) Tick() (powerLost bool) {
+	c := p.cycle
+	p.cycle++
+	if p.powerArmed && c >= p.powerCycle {
+		p.powerArmed = false
+		p.counts[KindPower]++
+		return true
+	}
+	return false
+}
+
+// Cycle returns the plane's current cycle counter.
+func (p *Plane) Cycle() uint64 { return p.cycle }
+
+// Injections returns how many faults have been delivered at a site.
+func (p *Plane) Injections(k Kind) uint64 {
+	if k < 0 || k >= kindCount {
+		return 0
+	}
+	return p.counts[k]
+}
+
+// PerturbCommand applies the command-register injector, if any.
+func (p *Plane) PerturbCommand(cmd uint8, data int64) (uint8, int64) {
+	if f := p.cmdFault; f != nil {
+		c2, d2 := f(p.cycle, cmd, data)
+		if c2 != cmd || d2 != data {
+			p.counts[KindCommand]++
+		}
+		return c2, d2
+	}
+	return cmd, data
+}
+
+// uint32Source matches urng.Source without importing it, keeping this
+// package dependency-free; dpbox adapts the concrete interface.
+type uint32Source interface {
+	Uint32() uint32
+}
+
+// wrappedSource applies the plane's URNG injector to an inner source.
+type wrappedSource struct {
+	p     *Plane
+	inner uint32Source
+}
+
+// Uint32 draws from the inner source and perturbs the word if an
+// injector is installed.
+func (s *wrappedSource) Uint32() uint32 {
+	w := s.inner.Uint32()
+	if f := s.p.urngFault; f != nil {
+		w2 := f(s.p.cycle, w)
+		if w2 != w {
+			s.p.counts[KindURNG]++
+		}
+		return w2
+	}
+	return w
+}
+
+// WrapSource returns a source that feeds inner through the plane's
+// URNG injector. The wrapper is allocated once at configuration time;
+// per-draw it costs one nil check when no injector is installed.
+func (p *Plane) WrapSource(inner uint32Source) interface{ Uint32() uint32 } {
+	return &wrappedSource{p: p, inner: inner}
+}
+
+// logUnit matches laplace.LogUnit without importing it.
+type logUnit interface {
+	LnRaw(v int64, frac int) int64
+	Frac() int
+}
+
+// wrappedLog applies the plane's log injector to an inner log unit.
+type wrappedLog struct {
+	p     *Plane
+	inner logUnit
+}
+
+// LnRaw evaluates the inner unit and perturbs the raw output if an
+// injector is installed.
+func (l *wrappedLog) LnRaw(v int64, frac int) int64 {
+	r := l.inner.LnRaw(v, frac)
+	if f := l.p.logFault; f != nil {
+		r2 := f(l.p.cycle, r)
+		if r2 != r {
+			l.p.counts[KindLog]++
+		}
+		return r2
+	}
+	return r
+}
+
+// Frac forwards the inner unit's fraction width.
+func (l *wrappedLog) Frac() int { return l.inner.Frac() }
+
+// WrapLog returns a log unit that feeds inner through the plane's
+// CORDIC/log injector.
+func (p *Plane) WrapLog(inner logUnit) interface {
+	LnRaw(v int64, frac int) int64
+	Frac() int
+} {
+	return &wrappedLog{p: p, inner: inner}
+}
+
+// --- canned injectors ---
+
+// StuckWord returns a URNG fault that replaces every draw with a
+// constant word (a stuck-at fault on the whole register).
+func StuckWord(w uint32) URNGFault {
+	return func(uint64, uint32) uint32 { return w }
+}
+
+// BitFlip returns a URNG fault that XORs the given mask into every
+// draw (stuck-at / coupling faults on individual bit lines).
+func BitFlip(mask uint32) URNGFault {
+	return func(_ uint64, w uint32) uint32 { return w ^ mask }
+}
+
+// BiasOnes returns a URNG fault that ORs the mask into every draw,
+// biasing the masked bits toward 1.
+func BiasOnes(mask uint32) URNGFault {
+	return func(_ uint64, w uint32) uint32 { return w | mask }
+}
+
+// BiasZeros returns a URNG fault that ANDs the complement of the mask
+// into every draw, biasing the masked bits toward 0.
+func BiasZeros(mask uint32) URNGFault {
+	return func(_ uint64, w uint32) uint32 { return w &^ mask }
+}
+
+// Schedule returns a URNG fault that substitutes an adversarial word
+// sequence for the real stream. After the schedule is exhausted the
+// real stream passes through unperturbed.
+func Schedule(words []uint32) URNGFault {
+	seq := append([]uint32(nil), words...)
+	i := 0
+	return func(_ uint64, w uint32) uint32 {
+		if i < len(seq) {
+			w = seq[i]
+			i++
+		}
+		return w
+	}
+}
+
+// Intermittent returns a URNG fault that applies inner only on every
+// period-th draw (transient upset model).
+func Intermittent(period uint64, inner URNGFault) URNGFault {
+	if period == 0 {
+		period = 1
+	}
+	var n uint64
+	return func(cycle uint64, w uint32) uint32 {
+		n++
+		if n%period == 0 {
+			return inner(cycle, w)
+		}
+		return w
+	}
+}
+
+// LogOffset returns a log fault that adds a constant raw offset to
+// every CORDIC output (systematic datapath error).
+func LogOffset(delta int64) LogFault {
+	return func(_ uint64, r int64) int64 { return r + delta }
+}
+
+// LogStuck returns a log fault that replaces every CORDIC output with
+// a constant raw value.
+func LogStuck(raw int64) LogFault {
+	return func(uint64, int64) int64 { return raw }
+}
+
+// CommandBitFlip returns a command fault that XORs cmdMask into the
+// opcode and dataMask into the data word on every period-th
+// transaction (period 0 or 1 means every transaction).
+func CommandBitFlip(cmdMask uint8, dataMask int64, period uint64) CommandFault {
+	if period == 0 {
+		period = 1
+	}
+	var n uint64
+	return func(_ uint64, cmd uint8, data int64) (uint8, int64) {
+		n++
+		if n%period == 0 {
+			return cmd ^ cmdMask, data ^ dataMask
+		}
+		return cmd, data
+	}
+}

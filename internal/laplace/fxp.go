@@ -103,10 +103,11 @@ type Sampler struct {
 
 // NewSampler wires a fixed-point Laplace RNG from its parameters, a
 // log unit and a uniform source. Pass log == nil for the default
-// CORDIC core. It panics on invalid parameters.
-func NewSampler(par FxPParams, log LogUnit, src urng.Source) *Sampler {
+// CORDIC core. Parameters are caller configuration, so invalid ones
+// are a returned error, not a panic (DESIGN.md §6).
+func NewSampler(par FxPParams, log LogUnit, src urng.Source) (*Sampler, error) {
 	if err := par.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if log == nil {
 		log = cordic.New(cordic.DefaultConfig)
@@ -116,7 +117,7 @@ func NewSampler(par FxPParams, log LogUnit, src urng.Source) *Sampler {
 		log:   log,
 		src:   src,
 		buLn2: int64(math.Round(math.Ldexp(float64(par.Bu)*math.Ln2, log.Frac()))),
-	}
+	}, nil
 }
 
 // Params returns the sampler's parameters.
@@ -143,7 +144,10 @@ func (s *Sampler) Sample() float64 { return float64(s.SampleK()) * s.par.Delta }
 // reproducibility then extends through the entire datapath: no
 // float64 operation touches the noise.
 func NewHWSampler(par FxPParams, log LogUnit, src urng.Source) (*Sampler, error) {
-	s := NewSampler(par, log, src)
+	s, err := NewSampler(par, log, src)
+	if err != nil {
+		return nil, err
+	}
 	ratio := par.Lambda / par.Delta
 	num, shift, ok := dyadic(ratio)
 	if !ok {

@@ -29,12 +29,14 @@ type Ideal struct {
 	src    *urng.SplitMix64
 }
 
-// NewIdeal returns an ideal Laplace sampler. It panics if lambda <= 0.
-func NewIdeal(lambda float64, seed uint64) *Ideal {
+// NewIdeal returns an ideal Laplace sampler. The scale is caller
+// configuration, so a non-positive lambda is a returned error, not a
+// panic (DESIGN.md §6).
+func NewIdeal(lambda float64, seed uint64) (*Ideal, error) {
 	if lambda <= 0 {
-		panic("laplace: non-positive scale")
+		return nil, fmt.Errorf("laplace: non-positive scale %g", lambda)
 	}
-	return &Ideal{lambda: lambda, src: urng.NewSplitMix64(seed)}
+	return &Ideal{lambda: lambda, src: urng.NewSplitMix64(seed)}, nil
 }
 
 // Sample draws one variate.

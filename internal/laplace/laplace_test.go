@@ -9,18 +9,18 @@ import (
 	"ulpdp/internal/urng"
 )
 
-func TestNewIdealPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on non-positive scale")
-		}
-	}()
-	NewIdeal(0, 1)
+func TestNewIdealRejectsBadScale(t *testing.T) {
+	if _, err := NewIdeal(0, 1); err == nil {
+		t.Fatal("expected error on non-positive scale")
+	}
 }
 
 func TestIdealMoments(t *testing.T) {
 	const lambda = 20.0
-	l := NewIdeal(lambda, 42)
+	l, err := NewIdeal(lambda, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	const n = 400000
 	var sum, sumAbs, sumSq float64
 	for i := 0; i < n; i++ {
@@ -196,7 +196,10 @@ func TestSamplerMatchesDistExhaustive(t *testing.T) {
 	// float log unit, must reproduce the closed-form counts draw for
 	// draw.
 	par := FxPParams{Bu: 12, By: 10, Delta: 0.5, Lambda: 8}
-	s := NewSampler(par, FloatLog{FracBits: 50}, urng.NewTaus88(1))
+	s, err := NewSampler(par, FloatLog{FracBits: 50}, urng.NewTaus88(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	d := NewDist(par)
 	counts := make(map[int64]int64)
 	for m := uint64(1); m <= 1<<par.Bu; m++ {
@@ -214,8 +217,14 @@ func TestSamplerCordicAgreesWithFloat(t *testing.T) {
 	// rounding-boundary draws; over an exhaustive small sweep the
 	// disagreement rate must be negligible and at most one step.
 	par := FxPParams{Bu: 12, By: 10, Delta: 0.5, Lambda: 8}
-	sc := NewSampler(par, cordic.New(cordic.DefaultConfig), urng.NewTaus88(1))
-	sf := NewSampler(par, FloatLog{FracBits: 50}, urng.NewTaus88(1))
+	sc, err := NewSampler(par, cordic.New(cordic.DefaultConfig), urng.NewTaus88(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := NewSampler(par, FloatLog{FracBits: 50}, urng.NewTaus88(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	var diff int
 	for m := uint64(1); m <= 1<<par.Bu; m++ {
 		a, b := sc.MagnitudeForDraw(m), sf.MagnitudeForDraw(m)
@@ -232,7 +241,10 @@ func TestSamplerCordicAgreesWithFloat(t *testing.T) {
 }
 
 func TestSampleOnGrid(t *testing.T) {
-	s := NewSampler(fig4Params, nil, urng.NewTaus88(9))
+	s, err := NewSampler(fig4Params, nil, urng.NewTaus88(9))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 2000; i++ {
 		x := s.Sample()
 		k := x / fig4Params.Delta
@@ -246,7 +258,10 @@ func TestSampleOnGrid(t *testing.T) {
 }
 
 func TestSampleSignBalance(t *testing.T) {
-	s := NewSampler(fig4Params, nil, urng.NewLFSR113(3))
+	s, err := NewSampler(fig4Params, nil, urng.NewLFSR113(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	var pos, neg int
 	const n = 60000
 	for i := 0; i < n; i++ {
@@ -343,21 +358,30 @@ func TestPMFShape(t *testing.T) {
 }
 
 func BenchmarkFxPSampleCordic(b *testing.B) {
-	s := NewSampler(fig4Params, nil, urng.NewTaus88(1))
+	s, err := NewSampler(fig4Params, nil, urng.NewTaus88(1))
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
 		s.SampleK()
 	}
 }
 
 func BenchmarkFxPSampleFloatLog(b *testing.B) {
-	s := NewSampler(fig4Params, FloatLog{FracBits: 50}, urng.NewTaus88(1))
+	s, err := NewSampler(fig4Params, FloatLog{FracBits: 50}, urng.NewTaus88(1))
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
 		s.SampleK()
 	}
 }
 
 func BenchmarkIdealSample(b *testing.B) {
-	l := NewIdeal(20, 1)
+	l, err := NewIdeal(20, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
 		l.Sample()
 	}
@@ -377,7 +401,10 @@ func TestHWSamplerMatchesFloatExhaustive(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%+v: %v", par, err)
 		}
-		fl := NewSampler(par, FloatLog{FracBits: 44}, urng.NewTaus88(1))
+		fl, err := NewSampler(par, FloatLog{FracBits: 44}, urng.NewTaus88(1))
+		if err != nil {
+			t.Fatal(err)
+		}
 		for m := uint64(1); m <= 1<<par.Bu; m++ {
 			a, b := hw.MagnitudeForDraw(m), fl.MagnitudeForDraw(m)
 			if a != b {

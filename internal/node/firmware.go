@@ -7,11 +7,27 @@ import (
 )
 
 // Firmware memory map: the driver exchanges values with the host
-// through two RAM words.
+// through three RAM words.
 const (
 	AddrX   = 0x0200 // input: sensor value (steps)
 	AddrOut = 0x0202 // output: noised value
+	AddrErr = 0x0204 // status: 0 ok, ErrCode* otherwise
 )
+
+// Firmware error codes stored at AddrErr.
+const (
+	// ErrCodePollTimeout means the DP-Box never raised STATUS.ready
+	// within PollBudget polls: the box is wedged, dead, or refusing
+	// the request. The firmware gives up instead of spinning forever.
+	ErrCodePollTimeout = 1
+)
+
+// PollBudget bounds the firmware's ready-poll loop. Each STATUS read
+// steps the DP-Box one cycle while noising, so the budget must exceed
+// the box's resample watchdog cap (at most 2048 cycles) plus FSM
+// overhead; 4096 leaves 2x slack. A healthy transaction is orders of
+// magnitude shorter, so the bound never fires in normal operation.
+const PollBudget = 4096
 
 // BuildFirmware assembles the MSP430 driver for a DP-Box mapped at
 // base: a configuration routine (ε shift, sensor range) and a noising
@@ -37,14 +53,24 @@ func BuildFirmware(base uint16, epsShift int, rangeLo, rangeHi int16) (*msp430.P
 	p.Mov(msp430.Imm(4), msp430.Abs(cmd)) // SetRangeUpper
 	p.Ret()
 
-	// noise: one full transaction.
+	// noise: one full transaction. The poll loop is bounded by a
+	// software watchdog in R10: an embedded driver must not hang on a
+	// wedged peripheral, and the fail-closed DP-Box can legitimately
+	// refuse to ever raise ready (dead phase, unhealthy URNG).
 	p.Label("noise")
 	p.Mov(msp430.Abs(AddrX), msp430.Abs(data))
 	p.Mov(msp430.Imm(3), msp430.Abs(cmd)) // SetSensorValue
 	p.Mov(msp430.Imm(1), msp430.Abs(cmd)) // StartNoising
+	p.Clr(msp430.Abs(AddrErr))
+	p.Mov(msp430.Imm(PollBudget), msp430.Reg(10))
 	p.Label("poll")
 	p.Bit(msp430.Imm(StatusReady), msp430.Abs(status))
-	p.Jeq("poll")
+	p.Jne("ready")
+	p.Dec(msp430.Reg(10))
+	p.Jne("poll")
+	p.Mov(msp430.Imm(ErrCodePollTimeout), msp430.Abs(AddrErr))
+	p.Ret()
+	p.Label("ready")
 	p.Mov(msp430.Abs(out), msp430.Abs(AddrOut))
 	p.Ret()
 
@@ -109,13 +135,22 @@ func (d *Driver) ToggleResampling() error {
 }
 
 // Noise runs one firmware noising transaction and returns the noised
-// value and the CPU cycles spent (including MMIO polling).
+// value and the CPU cycles spent (including MMIO polling). When the
+// firmware's poll watchdog expires — the DP-Box is wedged, dead, or
+// refusing to serve — the error reports the firmware code and any
+// underlying command error.
 func (d *Driver) Noise(x int16) (int16, uint64, error) {
 	d.node.CPU.WriteWord(AddrX, uint16(x))
 	d.node.CPU.Instrs = 0
 	cycles, err := d.node.CPU.Call(d.noise, 100_000)
 	if err != nil {
 		return 0, 0, err
+	}
+	if code := d.node.CPU.ReadWord(AddrErr); code != 0 {
+		if err := d.node.Port.LastErr(); err != nil {
+			return 0, cycles, fmt.Errorf("node: firmware error %d after %d polls: %w", code, PollBudget, err)
+		}
+		return 0, cycles, fmt.Errorf("node: firmware error %d (DP-Box never ready within %d polls)", code, PollBudget)
 	}
 	if err := d.node.Port.LastErr(); err != nil {
 		return 0, 0, err

@@ -12,9 +12,10 @@
 //	           current DATA register is presented as the data word
 //	+2  DATA   read/write: the data port
 //	+4  OUT    read: the noised output (valid when STATUS.ready)
-//	+6  STATUS read: bit0 ready, bits1-2 phase, bit3 cache-hit;
-//	           reading STATUS while noising steps the DP-Box one
-//	           cycle (models the polling clock)
+//	+6  STATUS read: bit0 ready, bits1-2 phase (3 = dead), bit3
+//	           cache-hit, bit4 URNG-unhealthy; reading STATUS while
+//	           noising steps the DP-Box one cycle (models the
+//	           polling clock)
 //	+8  BUDGET read: remaining budget in sixteenth-nats (saturated
 //	           to 16 bits)
 package node
@@ -34,11 +35,14 @@ const (
 	regSpan   = 10
 )
 
-// Status bits.
+// Status bits. The two-bit phase field reports dpbox.PhaseDead (3)
+// after a power-rail failure; firmware can distinguish "busy" from
+// "gone" without a side channel.
 const (
-	StatusReady   = 1 << 0
-	StatusPhaseLo = 1 << 1 // two-bit phase field
-	StatusCache   = 1 << 3
+	StatusReady     = 1 << 0
+	StatusPhaseLo   = 1 << 1 // two-bit phase field
+	StatusCache     = 1 << 3
+	StatusUnhealthy = 1 << 4 // URNG health gate tripped: box serves cache only
 )
 
 // Port maps a DP-Box into an MSP430's data space.
@@ -89,6 +93,9 @@ func (p *Port) ReadWord(addr uint16) uint16 {
 		s |= uint16(p.Box.Phase()) << 1
 		if p.Box.Ready() && p.Box.LastFromCache() {
 			s |= StatusCache
+		}
+		if !p.Box.Healthy() {
+			s |= StatusUnhealthy
 		}
 		return s
 	case RegBudget:

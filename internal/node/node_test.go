@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ulpdp/internal/dpbox"
+	"ulpdp/internal/fault"
 	"ulpdp/internal/urng"
 )
 
@@ -199,4 +200,73 @@ func buildByteProbe(t *testing.T) []uint16 {
 		t.Fatal(err)
 	}
 	return words
+}
+
+func TestFirmwareWatchdogOnDeadBox(t *testing.T) {
+	fp := fault.NewPlane()
+	box, err := dpbox.New(dpbox.Config{Bu: 12, By: 10, Mult: 2, Source: urng.NewTaus88(5), Faults: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := box.Initialize(1e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := New(box, base)
+	d, err := NewDriver(n, 1, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Configure(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Noise(8); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the power rail mid-flight: the firmware must not hang on
+	// the dead peripheral — the R10 watchdog bounds the poll loop.
+	fp.SchedulePowerLoss(fp.Cycle() + 1)
+	if _, _, err := d.Noise(8); err == nil {
+		t.Fatal("expected an error noising through a dead DP-Box")
+	}
+	if box.Phase() != dpbox.PhaseDead {
+		t.Fatalf("phase = %v, want dead", box.Phase())
+	}
+	// The status register exposes the dead phase to firmware.
+	if s := n.Port.ReadWord(base + RegStatus); (s>>1)&3 != uint16(dpbox.PhaseDead) {
+		t.Errorf("status %#x does not report the dead phase", s)
+	}
+}
+
+func TestFirmwareWatchdogOnUnhealthyBox(t *testing.T) {
+	fp := fault.NewPlane()
+	fp.SetURNGFault(fault.StuckWord(0)) // fails the monobit test immediately
+	box, err := dpbox.New(dpbox.Config{
+		Bu: 12, By: 10, Mult: 2, Source: urng.NewTaus88(5),
+		Faults: fp, HealthEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := box.Initialize(1e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := New(box, base)
+	d, err := NewDriver(n, 1, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Configure(); err != nil {
+		t.Fatal(err)
+	}
+	// The health gate refuses StartNoising (no cache to serve), so
+	// ready never rises; the firmware watchdog must trip, not spin.
+	if _, _, err := d.Noise(8); err == nil {
+		t.Fatal("expected a firmware error on an unhealthy DP-Box")
+	}
+	if s := n.Port.ReadWord(base + RegStatus); s&StatusUnhealthy == 0 {
+		t.Errorf("status %#x missing the unhealthy bit", s)
+	}
+	if box.Phase() == dpbox.PhaseDead {
+		t.Error("unhealthy box must stay alive (fail closed, not dead)")
+	}
 }

@@ -43,13 +43,14 @@ type Dist struct {
 	geo Geometry
 }
 
-// NewDist builds the exact distribution. It panics on an invalid
-// geometry (construction-time programming error).
-func NewDist(fam Family, geo Geometry) Dist {
+// NewDist builds the exact distribution. The geometry is caller
+// configuration, so an invalid one is a returned error, not a panic
+// (DESIGN.md §6).
+func NewDist(fam Family, geo Geometry) (Dist, error) {
 	if err := geo.Validate(); err != nil {
-		panic(err)
+		return Dist{}, err
 	}
-	return Dist{fam: fam, geo: geo}
+	return Dist{fam: fam, geo: geo}, nil
 }
 
 // Family returns the ideal family.

@@ -99,7 +99,10 @@ func TestSurvivalMatchesDensityIntegral(t *testing.T) {
 
 func TestTotalMassIsOne(t *testing.T) {
 	for _, fam := range families() {
-		d := NewDist(fam, geo)
+		d, err := NewDist(fam, geo)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if m := d.TotalMass(); math.Abs(m-1) > 1e-12 {
 			t.Errorf("%s: total mass %.15f", fam.Name(), m)
 		}
@@ -111,7 +114,10 @@ func TestLaplaceMatchesSpecializedDist(t *testing.T) {
 	// closed form in internal/laplace.
 	par := laplace.FxPParams{Bu: geo.Bu, By: geo.By, Delta: geo.Delta, Lambda: 16}
 	spec := laplace.NewDist(par)
-	gen := NewDist(Laplace{Lambda: 16}, geo)
+	gen, err := NewDist(Laplace{Lambda: 16}, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for k := int64(0); k <= geo.KCap(); k++ {
 		if a, b := gen.CountMag(k), spec.CountMag(k); a != b {
 			t.Fatalf("CountMag(%d): generic %g vs specialized %g", k, a, b)
@@ -127,7 +133,10 @@ func TestSamplerMatchesDistExhaustive(t *testing.T) {
 	for _, fam := range families() {
 		fam := fam
 		t.Run(fam.Name(), func(t *testing.T) {
-			d := NewDist(fam, small)
+			d, err := NewDist(fam, small)
+			if err != nil {
+				t.Fatal(err)
+			}
 			s := NewSampler(d, urng.NewTaus88(1))
 			counts := map[int64]float64{}
 			for m := uint64(1); m <= 1<<small.Bu; m++ {
@@ -147,7 +156,10 @@ func TestSamplerMatchesDistExhaustive(t *testing.T) {
 // support and zero-probability tail holes on fixed-point hardware.
 func TestEveryFamilyHasFinitePrecisionPathology(t *testing.T) {
 	for _, fam := range families() {
-		d := NewDist(fam, geo)
+		d, err := NewDist(fam, geo)
+		if err != nil {
+			t.Fatal(err)
+		}
 		maxK := d.MaxK()
 		if maxK <= 0 {
 			t.Fatalf("%s: degenerate support", fam.Name())
@@ -172,7 +184,11 @@ func TestNaiveMechanismLeaksForEveryFamily(t *testing.T) {
 	for _, fam := range families() {
 		fam := fam
 		t.Run(fam.Name(), func(t *testing.T) {
-			pmf, maxK := NewDist(fam, geo).PMF()
+			d, err := NewDist(fam, geo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pmf, maxK := d.PMF()
 			an := core.NewAnalyzerFromPMF(par, pmf, maxK)
 			if rep := an.BaselineLoss(); !rep.Infinite {
 				t.Fatalf("naive %s loss should be infinite, got %g", fam.Name(), rep.MaxLoss)
@@ -244,7 +260,10 @@ func TestQuantilePanicsOutOfRange(t *testing.T) {
 }
 
 func TestSampleKSigns(t *testing.T) {
-	d := NewDist(Gaussian{Sigma: 12}, geo)
+	d, err := NewDist(Gaussian{Sigma: 12}, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := NewSampler(d, urng.NewLFSR113(9))
 	var pos, neg int
 	for i := 0; i < 20000; i++ {

@@ -124,7 +124,10 @@ func TestEvaluateMAEIdealMechanism(t *testing.T) {
 	for i := range data {
 		data[i] = float64(i % 17)
 	}
-	mech := core.NewIdealLaplace(testPar, 3)
+	mech, err := core.NewIdealLaplace(testPar, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	u := EvaluateMAE(mech, Mean, data, 50, testPar.Range())
 	if u.Trials != 50 {
 		t.Errorf("trials = %d", u.Trials)
@@ -147,8 +150,16 @@ func TestEvaluateMAEBaselineSimilarToIdeal(t *testing.T) {
 	for i := range data {
 		data[i] = float64(i % 17)
 	}
-	ideal := EvaluateMAE(core.NewIdealLaplace(testPar, 5), Mean, data, 60, testPar.Range())
-	baseline := EvaluateMAE(core.NewBaseline(testPar, nil, urng.NewTaus88(5)), Mean, data, 60, testPar.Range())
+	idealMech, err := core.NewIdealLaplace(testPar, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseMech, err := core.NewBaseline(testPar, nil, urng.NewTaus88(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := EvaluateMAE(idealMech, Mean, data, 60, testPar.Range())
+	baseline := EvaluateMAE(baseMech, Mean, data, 60, testPar.Range())
 	ratio := baseline.MAE / ideal.MAE
 	if ratio < 0.5 || ratio > 2 {
 		t.Errorf("baseline/ideal MAE ratio = %g, want ~1", ratio)
@@ -156,12 +167,16 @@ func TestEvaluateMAEBaselineSimilarToIdeal(t *testing.T) {
 }
 
 func TestEvaluateMAEPanicsOnZeroTrials(t *testing.T) {
+	mech, err := core.NewIdealLaplace(testPar, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	EvaluateMAE(core.NewIdealLaplace(testPar, 1), Mean, []float64{1}, 0, 1)
+	EvaluateMAE(mech, Mean, []float64{1}, 0, 1)
 }
 
 func TestNormalizeFor(t *testing.T) {

@@ -92,13 +92,15 @@ func TestNoiseFeaturesPreservesLabelsAndShape(t *testing.T) {
 	d := GenerateHalfspace(100, 3, 0.1, 9)
 	par := core.Params{Lo: -1, Hi: 1, Eps: 1, Bu: 14, By: 12, Delta: 2.0 / 256}
 	src := urng.NewTaus88(3)
-	noised := NoiseFeatures(d, func(dim int) core.Mechanism {
-		th, err := core.ThresholdingThreshold(par, 2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return core.NewThresholding(par, th, nil, src)
-	})
+	th, err := core.ThresholdingThreshold(par, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := core.NewThresholding(par, th, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noised := NoiseFeatures(d, func(dim int) core.Mechanism { return mech })
 	if noised.Len() != d.Len() {
 		t.Fatal("length changed")
 	}
@@ -130,13 +132,15 @@ func TestNoisedTrainingDegradesGracefully(t *testing.T) {
 	accAt := func(eps float64, seed uint64) float64 {
 		par := core.Params{Lo: -1, Hi: 1, Eps: eps, Bu: 14, By: 12, Delta: 2.0 / 256}
 		src := urng.NewTaus88(seed)
-		noised := NoiseFeatures(train, func(int) core.Mechanism {
-			th, err := core.ThresholdingThreshold(par, 2)
-			if err != nil {
-				t.Fatal(err)
-			}
-			return core.NewThresholding(par, th, nil, src)
-		})
+		th, err := core.ThresholdingThreshold(par, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mech, err := core.NewThresholding(par, th, nil, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noised := NoiseFeatures(train, func(int) core.Mechanism { return mech })
 		return Accuracy(TrainPegasos(noised, 1e-4, 8, 13), test)
 	}
 	lowPriv := accAt(4, 17) // mild noise

@@ -27,10 +27,12 @@ type BatteryResult struct {
 // acceptSigma is the acceptance band in standard deviations.
 const acceptSigma = 4.5
 
-// RunBattery draws n words from src and evaluates the battery.
-func RunBattery(src Source, n int) []BatteryResult {
+// RunBattery draws n words from src and evaluates the battery. The
+// sample size is caller-supplied configuration, so an undersized n is
+// a returned error, not a panic (DESIGN.md §6).
+func RunBattery(src Source, n int) ([]BatteryResult, error) {
 	if n < 1024 {
-		panic(fmt.Sprintf("urng: battery needs >= 1024 words, got %d", n))
+		return nil, fmt.Errorf("urng: battery needs >= 1024 words, got %d", n)
 	}
 	words := make([]uint32, n)
 	for i := range words {
@@ -42,7 +44,7 @@ func RunBattery(src Source, n int) []BatteryResult {
 		blockFrequency(words, 64),
 		serialCorrelation(words),
 		bytePairChi(words),
-	}
+	}, nil
 }
 
 // Passed reports whether every test in the battery passed.

@@ -62,20 +62,14 @@ type LossReport = core.LossReport
 // NewIdealLaplace returns the real-valued Laplace reference mechanism
 // (ε-LDP by construction, unimplementable on fixed-point hardware).
 func NewIdealLaplace(par Params, seed uint64) (Mechanism, error) {
-	if err := par.Validate(); err != nil {
-		return nil, err
-	}
-	return core.NewIdealLaplace(par, seed), nil
+	return core.NewIdealLaplace(par, seed)
 }
 
 // NewBaseline returns the naive fixed-point mechanism. Its utility
 // matches the ideal mechanism but its worst-case privacy loss is
 // infinite — use it only as a baseline.
 func NewBaseline(par Params, seed uint64) (Mechanism, error) {
-	if err := par.Validate(); err != nil {
-		return nil, err
-	}
-	return core.NewBaseline(par, nil, urng.NewTaus88(seed)), nil
+	return core.NewBaseline(par, nil, urng.NewTaus88(seed))
 }
 
 // NewResampling returns the resampling-guarded mechanism with the
@@ -85,7 +79,7 @@ func NewResampling(par Params, mult float64, seed uint64) (Mechanism, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewResampling(par, th, nil, urng.NewTaus88(seed)), nil
+	return core.NewResampling(par, th, nil, urng.NewTaus88(seed))
 }
 
 // NewThresholding returns the thresholding-guarded mechanism with the
@@ -96,17 +90,14 @@ func NewThresholding(par Params, mult float64, seed uint64) (Mechanism, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewThresholding(par, th, nil, urng.NewTaus88(seed)), nil
+	return core.NewThresholding(par, th, nil, urng.NewTaus88(seed))
 }
 
 // NewRandomizedResponse returns the binary (categorical) mechanism —
 // the DP-Box's threshold-zero configuration. Inputs snap to the
 // nearer of {Lo, Hi}; outputs are always Lo or Hi.
 func NewRandomizedResponse(par Params, seed uint64) (*core.RandomizedResponse, error) {
-	if err := par.Validate(); err != nil {
-		return nil, err
-	}
-	return core.NewRandomizedResponse(par, nil, urng.NewTaus88(seed)), nil
+	return core.NewRandomizedResponse(par, nil, urng.NewTaus88(seed))
 }
 
 // ResamplingThreshold computes the certified resampling guard
@@ -203,7 +194,7 @@ func NewConstantTime(par Params, mult float64, candidates int, seed uint64) (Mec
 	if err != nil {
 		return nil, err
 	}
-	return core.NewConstantTime(par, th, candidates, nil, urng.NewTaus88(seed)), nil
+	return core.NewConstantTime(par, th, candidates, nil, urng.NewTaus88(seed))
 }
 
 // CertifyConstantTime enumerates the constant-time mechanism's exact
@@ -252,10 +243,7 @@ type (
 // NewFamilyDist builds the exact fixed-point distribution of any
 // noise family. Feed its PMF to CertifyFamily for exact analysis.
 func NewFamilyDist(fam NoiseFamily, geo NoiseGeometry) (FamilyDist, error) {
-	if err := geo.Validate(); err != nil {
-		return FamilyDist{}, err
-	}
-	return noisedist.NewDist(fam, geo), nil
+	return noisedist.NewDist(fam, geo)
 }
 
 // familyAnalyzer returns the shared analyzer for a family's exact
