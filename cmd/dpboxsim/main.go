@@ -4,6 +4,7 @@
 // Usage:
 //
 //	dpboxsim [-budget N] [-replenish N] [-bu N] [-by N] [-mult F]
+//	         [-health N] [-stuck W] [-vcd FILE]
 //
 // Then one command per line on stdin:
 //
@@ -15,6 +16,11 @@
 //	run <x> <count>     noise x repeatedly, print a summary
 //	status              show phase, budget, threshold, cycles
 //	quit
+//
+// The exit status reports the box's final state: 0 when the session
+// ends with a live, healthy box; 1 when it ends with the box dead
+// (power-rail failure) or refusing service (URNG health gate closed),
+// so scripted runs can detect a box that stopped serving.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"strings"
 
 	"ulpdp"
+	"ulpdp/internal/fault"
 )
 
 type session struct {
@@ -35,15 +42,27 @@ type session struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	budgetNats := flag.Float64("budget", 50, "privacy budget in nats")
 	replenish := flag.Uint64("replenish", 0, "replenishment period in cycles (0 = never)")
 	bu := flag.Int("bu", 17, "URNG magnitude bits")
 	by := flag.Int("by", 14, "noise output bits")
 	mult := flag.Float64("mult", 2, "certified loss multiplier")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the session to this file")
+	health := flag.Uint64("health", 0, "run the URNG health battery every N cycles (0 = off)")
+	stuck := flag.Int("stuck", -1, "inject a stuck-word URNG fault with this word (-1 = off)")
 	flag.Parse()
 
-	box, err := ulpdp.NewDPBox(ulpdp.DPBoxConfig{Bu: *bu, By: *by, Mult: *mult})
+	cfg := ulpdp.DPBoxConfig{Bu: *bu, By: *by, Mult: *mult, HealthEvery: *health}
+	if *stuck >= 0 {
+		fp := fault.NewPlane()
+		fp.SetURNGFault(fault.StuckWord(uint32(*stuck)))
+		cfg.Faults = fp
+	}
+	box, err := ulpdp.NewDPBox(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,7 +95,7 @@ func main() {
 		s.printf("> ")
 		s.out.Flush()
 		if !sc.Scan() {
-			return
+			return s.exitCode()
 		}
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
@@ -84,12 +103,26 @@ func main() {
 		}
 		if err := s.dispatch(fields); err != nil {
 			if errors.Is(err, errQuit) {
-				s.out.Flush()
-				return
+				return s.exitCode()
 			}
 			s.printf("error: %v\n", err)
 		}
 	}
+}
+
+// exitCode inspects the box as the session ends: a dead or refusing
+// box turns into a non-zero exit so scripts and CI notice.
+func (s *session) exitCode() int {
+	s.out.Flush()
+	switch {
+	case s.box.Phase() == ulpdp.DPBoxPhaseDead:
+		fmt.Fprintln(os.Stderr, "dpboxsim: session ended with a dead DP-Box (power-rail failure)")
+		return 1
+	case !s.box.Healthy():
+		fmt.Fprintln(os.Stderr, "dpboxsim: session ended with an unhealthy DP-Box (URNG health gate closed, serving cache only)")
+		return 1
+	}
+	return 0
 }
 
 var errQuit = errors.New("quit")

@@ -1,0 +1,413 @@
+// Package collector is the server side of the fleet protocol: it
+// ingests noised reports from N concurrent nodes over lossy links,
+// deduplicates them idempotently by (node, seq), ACKs what it has
+// durably recorded, and degrades gracefully when a node goes bad.
+//
+// The pipeline is: one receive goroutine per attached node feeds a
+// bounded shared ingest queue; a single processor goroutine drains
+// the queue, applies dedup + circuit-breaker policy under one lock,
+// and sends the ACK. A full ingest queue sheds the report without
+// ACKing it — backpressure looks exactly like packet loss, and the
+// node's retry loop recovers it. Because the ACK is sent only after
+// the report is recorded, "the agent saw an ACK" implies "the
+// collector counted the value": at-least-once delivery composes with
+// idempotent dedup into exactly-once accounting.
+//
+// Per-node circuit breakers trip after consecutive failures (receive
+// timeouts or reports flagged URNG-unhealthy), discard traffic while
+// open, then half-open and probe: the next healthy report closes the
+// breaker, an unhealthy one re-opens it. While a breaker is open —
+// or a node reports its privacy budget exhausted — queries for that
+// node serve the last-ACKed cached value, marked degraded, instead
+// of failing.
+package collector
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ulpdp/internal/transport"
+)
+
+// BreakerState is a per-node circuit breaker state.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen discards traffic while the node cools off.
+	BreakerOpen
+	// BreakerHalfOpen admits the next report as a probe.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", uint8(s))
+}
+
+// Config parameterizes a Collector. The zero value gets
+// simulation-friendly defaults.
+type Config struct {
+	// PollTimeout is each receive goroutine's wait per poll
+	// (default 2ms). A poll that returns nothing is one breaker
+	// failure tick.
+	PollTimeout time.Duration
+	// QueueCap bounds the shared ingest queue (default 256).
+	QueueCap int
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// node's breaker (default 8).
+	BreakerThreshold int
+	// OpenTicks is how many receive timeouts an open breaker waits
+	// before half-opening to probe (default 4).
+	OpenTicks int
+
+	// procDelay stalls the processor per report; tests use it to
+	// force ingest-queue backpressure deterministically.
+	procDelay time.Duration
+}
+
+// Stats counts collector events; read a snapshot with Collector.Stats.
+type Stats struct {
+	// Accepted counts first-time (node, seq) reports recorded.
+	Accepted uint64
+	// Duplicates counts re-deliveries of an already-recorded
+	// (node, seq); they are re-ACKed but change nothing.
+	Duplicates uint64
+	// Backpressure counts reports shed by the full ingest queue.
+	Backpressure uint64
+	// BreakerDrops counts reports discarded by an open breaker.
+	BreakerDrops uint64
+	// Timeouts counts empty receive polls.
+	Timeouts uint64
+}
+
+// nodeState is everything the collector knows about one node.
+// Guarded by Collector.mu.
+type nodeState struct {
+	end *transport.Endpoint
+
+	values map[uint64]int64 // dedup: seq -> recorded value
+	flags  map[uint64]uint8
+
+	haveAck   bool
+	lastSeq   uint64 // highest ACKed seq
+	lastValue int64  // its value — the graceful-degradation cache
+	exhausted bool   // latest report carried FlagFromCache
+
+	breaker    BreakerState
+	consecFail int
+	openLeft   int
+}
+
+// item is one report in the ingest queue.
+type item struct {
+	node transport.NodeID
+	pkt  transport.Packet
+}
+
+// NodeView is a query snapshot for one node.
+type NodeView struct {
+	// Value is the freshest ACKed value (the cache while degraded).
+	Value int64
+	// Seq is the highest ACKed sequence number.
+	Seq uint64
+	// Have reports whether any report was ever ACKed.
+	Have bool
+	// Degraded reports that Value is served from the last-ACKed
+	// cache: the breaker is not closed, or the node announced its
+	// budget exhausted.
+	Degraded bool
+	// Breaker is the node's current breaker state.
+	Breaker BreakerState
+	// Reports counts distinct recorded sequence numbers.
+	Reports int
+}
+
+// Aggregate is the fleet-wide rollup over distinct (node, seq)
+// reports. It is order-independent, so any delivery schedule that
+// gets every report through yields the identical aggregate.
+type Aggregate struct {
+	// Nodes counts attached nodes.
+	Nodes int
+	// Reports counts distinct (node, seq) pairs recorded.
+	Reports int
+	// Sum is the sum of all distinct recorded values.
+	Sum int64
+	// Degraded counts nodes currently served from cache.
+	Degraded int
+}
+
+// Collector ingests, dedups, ACKs, and aggregates fleet reports.
+type Collector struct {
+	cfg    Config
+	ingest chan item
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	nodes map[transport.NodeID]*nodeState
+	stats Stats
+}
+
+// New starts a collector (its processor goroutine runs until Close).
+func New(cfg Config) *Collector {
+	if cfg.PollTimeout <= 0 {
+		cfg.PollTimeout = 2 * time.Millisecond
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 8
+	}
+	if cfg.OpenTicks <= 0 {
+		cfg.OpenTicks = 4
+	}
+	c := &Collector{
+		cfg:    cfg,
+		ingest: make(chan item, cfg.QueueCap),
+		stop:   make(chan struct{}),
+		nodes:  make(map[transport.NodeID]*nodeState),
+	}
+	c.wg.Add(1)
+	go c.process()
+	return c
+}
+
+// Attach registers a node's link endpoint and starts its receive
+// goroutine. Attaching the same ID twice is an error.
+func (c *Collector) Attach(id transport.NodeID, end *transport.Endpoint) error {
+	c.mu.Lock()
+	if _, dup := c.nodes[id]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("collector: node %d already attached", id)
+	}
+	c.nodes[id] = &nodeState{
+		end:    end,
+		values: make(map[uint64]int64),
+		flags:  make(map[uint64]uint8),
+	}
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go c.receive(id, end)
+	return nil
+}
+
+// Close stops every goroutine and waits for them.
+func (c *Collector) Close() {
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// receive is the per-node ingest front: poll the link, feed the
+// bounded queue, and report silence to the breaker.
+func (c *Collector) receive(id transport.NodeID, end *transport.Endpoint) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		pkt, ok := end.Recv(c.cfg.PollTimeout)
+		if !ok {
+			c.noteTimeout(id)
+			continue
+		}
+		if pkt.Kind != transport.KindReport || pkt.Node != id {
+			continue // stray or echoed frame; the checksum already passed, but it is not ours
+		}
+		select {
+		case c.ingest <- item{node: id, pkt: pkt}:
+		default:
+			// Queue full: shed without ACK. The node retries, and by
+			// then the queue has drained — backpressure is just
+			// self-inflicted packet loss.
+			c.count(func(s *Stats) { s.Backpressure++ })
+		}
+	}
+}
+
+// process is the single consumer of the ingest queue.
+func (c *Collector) process() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case it := <-c.ingest:
+			if c.cfg.procDelay > 0 {
+				time.Sleep(c.cfg.procDelay)
+			}
+			c.handle(it)
+		}
+	}
+}
+
+// handle applies breaker policy and dedup for one report, then ACKs.
+func (c *Collector) handle(it item) {
+	c.mu.Lock()
+	ns := c.nodes[it.node]
+	if ns == nil {
+		c.mu.Unlock()
+		return
+	}
+	unhealthy := it.pkt.Flags&transport.FlagUnhealthy != 0
+
+	switch ns.breaker {
+	case BreakerOpen:
+		// Cooling off: traffic is discarded unACKed; the node's
+		// retries will land once the breaker half-opens.
+		c.stats.BreakerDrops++
+		c.mu.Unlock()
+		return
+	case BreakerHalfOpen:
+		if unhealthy {
+			// Probe failed: back to open for another cooldown.
+			ns.breaker = BreakerOpen
+			ns.openLeft = c.cfg.OpenTicks
+			c.stats.BreakerDrops++
+			c.mu.Unlock()
+			return
+		}
+		ns.breaker = BreakerClosed
+		ns.consecFail = 0
+	case BreakerClosed:
+		if unhealthy {
+			ns.consecFail++
+			if ns.consecFail >= c.cfg.BreakerThreshold {
+				ns.breaker = BreakerOpen
+				ns.openLeft = c.cfg.OpenTicks
+				c.stats.BreakerDrops++
+				c.mu.Unlock()
+				return
+			}
+		} else {
+			ns.consecFail = 0
+		}
+	}
+
+	if _, seen := ns.values[it.pkt.Seq]; seen {
+		c.stats.Duplicates++
+	} else {
+		ns.values[it.pkt.Seq] = it.pkt.Value
+		ns.flags[it.pkt.Seq] = it.pkt.Flags
+		c.stats.Accepted++
+	}
+	if !ns.haveAck || it.pkt.Seq >= ns.lastSeq {
+		ns.haveAck = true
+		ns.lastSeq = it.pkt.Seq
+		ns.lastValue = ns.values[it.pkt.Seq]
+		ns.exhausted = it.pkt.Flags&transport.FlagFromCache != 0
+	}
+	end := ns.end
+	c.mu.Unlock()
+
+	// ACK after recording (including duplicate re-ACKs: the node may
+	// have missed the first ACK).
+	end.Send(transport.Packet{Kind: transport.KindAck, Node: it.node, Seq: it.pkt.Seq})
+}
+
+// noteTimeout feeds one silent poll into the breaker.
+func (c *Collector) noteTimeout(id transport.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Timeouts++
+	ns := c.nodes[id]
+	if ns == nil {
+		return
+	}
+	switch ns.breaker {
+	case BreakerClosed:
+		ns.consecFail++
+		if ns.consecFail >= c.cfg.BreakerThreshold {
+			ns.breaker = BreakerOpen
+			ns.openLeft = c.cfg.OpenTicks
+		}
+	case BreakerOpen:
+		ns.openLeft--
+		if ns.openLeft <= 0 {
+			ns.breaker = BreakerHalfOpen
+		}
+	case BreakerHalfOpen:
+		// Still silent; keep waiting for the probe.
+	}
+}
+
+func (c *Collector) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the collector counters.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Node returns the query view for one node: the freshest value, or
+// the last-ACKed cache marked degraded when the breaker is not
+// closed or the node's budget is exhausted.
+func (c *Collector) Node(id transport.NodeID) (NodeView, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns := c.nodes[id]
+	if ns == nil {
+		return NodeView{}, false
+	}
+	return NodeView{
+		Value:    ns.lastValue,
+		Seq:      ns.lastSeq,
+		Have:     ns.haveAck,
+		Degraded: ns.breaker != BreakerClosed || ns.exhausted,
+		Breaker:  ns.breaker,
+		Reports:  len(ns.values),
+	}, true
+}
+
+// Values returns a copy of a node's distinct recorded (seq, value)
+// pairs.
+func (c *Collector) Values(id transport.NodeID) map[uint64]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns := c.nodes[id]
+	if ns == nil {
+		return nil
+	}
+	out := make(map[uint64]int64, len(ns.values))
+	for s, v := range ns.values {
+		out[s] = v
+	}
+	return out
+}
+
+// Aggregate rolls up every node's distinct reports.
+func (c *Collector) Aggregate() Aggregate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var a Aggregate
+	a.Nodes = len(c.nodes)
+	for _, ns := range c.nodes {
+		a.Reports += len(ns.values)
+		for _, v := range ns.values {
+			a.Sum += v
+		}
+		if ns.breaker != BreakerClosed || ns.exhausted {
+			a.Degraded++
+		}
+	}
+	return a
+}

@@ -13,6 +13,15 @@ import (
 // budgets. Every channel charges the common ledger; once it is spent,
 // every channel serves its own cached value until the shared
 // replenishment period (driven by the Bank's clock) restores it.
+//
+// Concurrency: distinct channels may be driven from distinct
+// goroutines (the collector ingest path does), and Tick may run
+// alongside them — the shared ledger serializes every balance
+// movement and the journal writes backing it internally. Each
+// individual channel is still single-goroutine state: never drive the
+// same Box from two goroutines. A charge that races the last units of
+// budget saturates at zero exactly as it does sequentially, so
+// interleaving can reorder charges but never mint budget.
 type Bank struct {
 	boxes  []*DPBox
 	ledger *budgetLedger
@@ -88,7 +97,7 @@ func (bk *Bank) Tick(n uint64) {
 
 // BudgetRemaining returns the shared unspent budget in nats.
 func (bk *Bank) BudgetRemaining() float64 {
-	return float64(bk.ledger.units) * chargeUnit
+	return float64(bk.ledger.balance()) * chargeUnit
 }
 
 // Cycles returns the Bank clock.

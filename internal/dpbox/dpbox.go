@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"ulpdp/internal/core"
 	"ulpdp/internal/cordic"
@@ -249,6 +250,16 @@ type DPBox struct {
 	cache      int64
 	haveCache  bool
 
+	// Per-sequence release cache (fleet at-most-once noising): every
+	// value released under a report sequence number, mirrored from the
+	// journal so NoiseValueSeq can replay instead of redrawing. The
+	// map grows with the power cycle's releases; recovery compaction
+	// trims it to the retransmission window.
+	releases  map[uint64]Release
+	maxRelSeq uint64
+	seqArmed  bool   // the in-flight transaction carries a report seq
+	armedSeq  uint64 // that seq
+
 	tracer Tracer
 }
 
@@ -313,7 +324,14 @@ func (b *DPBox) Output() int64 { return b.out }
 // shares one ledger across all its sensors, implementing the paper's
 // Section IV requirement that multiple sensors must share a budget
 // (their readings could be combined to compromise privacy).
+//
+// The mutex serializes balance movements (and the journal writes
+// backing them) so a Bank's channels may be driven from concurrent
+// goroutines: each charge is atomic against the shared balance and
+// the NVM log. Each DPBox itself remains single-goroutine state —
+// only the ledger is shared.
 type budgetLedger struct {
+	mu             sync.Mutex
 	units          int64
 	initial        int64
 	replenishEvery uint64
@@ -326,6 +344,8 @@ type budgetLedger struct {
 // journal write backing a refill failed (NVM power lost): the refill
 // must not take effect and the owner must fail closed.
 func (l *budgetLedger) tick() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if !l.locked || l.replenishEvery == 0 {
 		return true
 	}
@@ -345,19 +365,46 @@ func (l *budgetLedger) tick() bool {
 // volatile balance moves; false means it is not, and the caller must
 // not emit the output it was about to charge for.
 func (l *budgetLedger) charge(units int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.j != nil && !l.j.appendCharge(units) {
 		return false
 	}
+	l.deduct(units)
+	return true
+}
+
+// chargeRelease is charge with a (reportSeq, value) release binding
+// riding inside the same journal transaction: the binding and the
+// charge become durable together or not at all.
+func (l *budgetLedger) chargeRelease(units int64, reportSeq uint64, rel Release) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.j != nil && !l.j.appendChargeRelease(units, reportSeq, rel.Value, rel.flags()) {
+		return false
+	}
+	l.deduct(units)
+	return true
+}
+
+// deduct moves the volatile balance; callers hold l.mu.
+func (l *budgetLedger) deduct(units int64) {
 	l.units -= units
 	if l.units < 0 {
 		l.units = 0
 	}
-	return true
+}
+
+// balance returns the current unspent units.
+func (l *budgetLedger) balance() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.units
 }
 
 // BudgetRemaining returns the unspent budget in nats.
 func (b *DPBox) BudgetRemaining() float64 {
-	return float64(b.ledger.units) * chargeUnit
+	return float64(b.ledger.balance()) * chargeUnit
 }
 
 // Threshold returns the guard threshold currently in effect, in
@@ -414,11 +461,16 @@ func (b *DPBox) commandInit(cmd Command, data int64) error {
 		if b.ledger.initial == 0 {
 			return errors.New("dpbox: budget not configured")
 		}
-		if b.ledger.j != nil && !b.ledger.j.appendConfig(b.ledger.initial, b.ledger.replenishEvery) {
-			b.powerFail()
-			return ErrPowerLost
+		// A shared (Bank) ledger is locked by its first channel; the
+		// remaining channels only transition phase — a second config
+		// record would corrupt the journal replay.
+		if !b.ledger.locked {
+			if b.ledger.j != nil && !b.ledger.j.appendConfig(b.ledger.initial, b.ledger.replenishEvery) {
+				b.powerFail()
+				return ErrPowerLost
+			}
+			b.ledger.locked = true
 		}
-		b.ledger.locked = true
 		b.phase = PhaseWaiting
 	case CmdDoNothing:
 	default:
@@ -766,7 +818,7 @@ func (b *DPBox) powerFail() {
 // noisingCycle performs one cycle of the noising phase: one guard
 // attempt with the pending sample.
 func (b *DPBox) noisingCycle() {
-	if b.ledger.units <= 0 && !b.cfg.GuardDisabled {
+	if b.ledger.balance() <= 0 && !b.cfg.GuardDisabled {
 		// Budget exhausted: replay the cache (free) or emit the
 		// clamped lower bound if nothing was ever produced.
 		if b.haveCache {
@@ -881,7 +933,27 @@ func (b *DPBox) DegradeThreshold() (int64, bool) { return b.degradeTh, b.degrade
 func (b *DPBox) LastDegraded() bool { return b.degraded }
 
 func (b *DPBox) finish(y, chargeU int64, fromCache bool) {
-	if !fromCache {
+	if b.seqArmed {
+		// Sequence-labelled transaction: the (seq, value) binding is
+		// journaled atomically with the charge — for cache replays too
+		// (at zero charge), so a retransmitted sequence recovers the
+		// same value after a crash instead of redrawing.
+		u := chargeU
+		if fromCache {
+			u = 0
+		}
+		rel := Release{Value: y, Degraded: b.degraded, FromCache: fromCache}
+		if !b.ledger.chargeRelease(u, b.armedSeq, rel) {
+			b.powerFail()
+			return
+		}
+		b.recordRelease(b.armedSeq, rel)
+		b.seqArmed = false
+		if !fromCache {
+			b.cache = y
+			b.haveCache = true
+		}
+	} else if !fromCache {
 		if !b.ledger.charge(chargeU) {
 			// The two-phase journal write did not become durable: NVM
 			// power is gone. Fail closed — no output is emitted for a
@@ -897,6 +969,18 @@ func (b *DPBox) finish(y, chargeU int64, fromCache bool) {
 	b.out = y
 	b.ready = true
 	b.phase = PhaseWaiting
+}
+
+// recordRelease mirrors a durable release binding into the in-memory
+// cache.
+func (b *DPBox) recordRelease(seq uint64, rel Release) {
+	if b.releases == nil {
+		b.releases = make(map[uint64]Release)
+	}
+	b.releases[seq] = rel
+	if seq >= b.maxRelSeq {
+		b.maxRelSeq = seq
+	}
 }
 
 // NoiseResult summarizes one complete noising transaction.
@@ -915,6 +999,10 @@ type NoiseResult struct {
 	// output came from the certified thresholding clamp instead of
 	// the resampling loop.
 	Degraded bool
+	// Replayed reports that a sequence-labelled request matched an
+	// already-released sequence and the journaled value was returned
+	// verbatim — no noise drawn, no budget charged.
+	Replayed bool
 }
 
 // NoiseValue drives a full transaction: load the sensor value, start
@@ -955,6 +1043,56 @@ func (b *DPBox) NoiseValue(x int64) (NoiseResult, error) {
 		FromCache: b.fromCache,
 		Degraded:  b.degraded,
 	}, nil
+}
+
+// NoiseValueSeq is NoiseValue for a report labelled with a per-node
+// monotonic sequence number: noise for a sequence is drawn at most
+// once, ever. The first call for seq runs a normal transaction whose
+// (seq, value) binding is journaled atomically with its budget charge;
+// any later call for the same seq — a retry loop re-asking after a
+// lost ACK, or a fresh boot replaying after a crash mid-retry —
+// returns the recorded value verbatim with Replayed set, drawing no
+// noise and charging nothing. Retransmitting a release is therefore
+// privacy-free: the wire never carries two noisings of one reading.
+func (b *DPBox) NoiseValueSeq(seq uint64, x int64) (NoiseResult, error) {
+	if rel, ok := b.releases[seq]; ok {
+		return NoiseResult{
+			Value:     rel.Value,
+			Charged:   0,
+			FromCache: true,
+			Degraded:  rel.Degraded,
+			Replayed:  true,
+		}, nil
+	}
+	b.seqArmed, b.armedSeq = true, seq
+	r, err := b.NoiseValue(x)
+	b.seqArmed = false
+	return r, err
+}
+
+// ReleaseFor returns the durably released value for a sequence, if
+// one exists (in this power cycle or recovered from the journal).
+func (b *DPBox) ReleaseFor(seq uint64) (Release, bool) {
+	rel, ok := b.releases[seq]
+	return rel, ok
+}
+
+// Releases returns a copy of the known (sequence → release) bindings.
+func (b *DPBox) Releases() map[uint64]Release {
+	out := make(map[uint64]Release, len(b.releases))
+	for s, r := range b.releases {
+		out[s] = r
+	}
+	return out
+}
+
+// NextSeq returns the smallest sequence number strictly above every
+// known release (0 on a box that has never released).
+func (b *DPBox) NextSeq() uint64 {
+	if len(b.releases) == 0 {
+		return 0
+	}
+	return b.maxRelSeq + 1
 }
 
 // Initialize drives the boot-time configuration: budget (in nats) and

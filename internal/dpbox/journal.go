@@ -3,6 +3,7 @@ package dpbox
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Journal is the DP-Box budget ledger's write-ahead log, modelling a
@@ -30,13 +31,24 @@ import (
 //	replenish   no payload: timer refill to initialUnits
 //	checkpoint  payload units(4): absolute balance snapshot, written by
 //	            recovery when compacting the log
+//	release     payload reportSeq(4) value(4) flags(1): the noised
+//	            value bound to one report sequence number, written
+//	            between a charge's intent and commit so the
+//	            (seq, value) binding becomes durable atomically with
+//	            the charge that paid for it
 //
 // A charge is applied at replay only when its intent is directly
-// followed by a matching commit; an intent without its commit is
-// rolled back. The DP-Box emits an output only after the commit word
-// is durable, so replaying a power-loss trace at every cut point can
-// lose at most one fully-charged-but-unemitted output and can never
-// double-spend or emit an uncharged output.
+// followed by a matching commit (a release record may sit between the
+// two and commits with them); an intent without its commit is rolled
+// back, and with it any release it carried. The DP-Box emits an output
+// only after the commit word is durable, so replaying a power-loss
+// trace at every cut point can lose at most one
+// fully-charged-but-unemitted output and can never double-spend or
+// emit an uncharged output. Because the release travels inside the
+// charge transaction, recovery either knows a sequence's exact noised
+// value (and the budget paid for it) or knows the sequence was never
+// released — the at-most-once-noising guarantee the fleet transport
+// retries against.
 type Journal struct {
 	words []uint16
 	seq   uint16
@@ -57,7 +69,22 @@ const (
 	tagCommit     = 3
 	tagReplenish  = 4
 	tagCheckpoint = 5
+	tagRelease    = 6
 )
+
+// Release flag bits (the flags word of a release record).
+const (
+	relFlagDegraded  = 1 << 0
+	relFlagFromCache = 1 << 1
+)
+
+// compactReleaseCap bounds how many release records recovery carries
+// into the compacted journal: the highest-seq entries survive, older
+// ones are dropped. A node's retransmission window (un-ACKed
+// sequences that may still be asked for after a crash) must stay
+// below this cap; the sequential ReportAgent keeps exactly one
+// report outstanding, far under it.
+const compactReleaseCap = 64
 
 const chkSalt = 0x5AA5
 
@@ -71,6 +98,8 @@ func payloadLen(tag uint16) int {
 		return 4
 	case tagCommit, tagReplenish:
 		return 0
+	case tagRelease:
+		return 9
 	}
 	return -1
 }
@@ -147,6 +176,26 @@ func (j *Journal) appendReplenish() bool {
 	return j.appendRecord(tagReplenish, nil)
 }
 
+// appendChargeRelease runs the two-phase protocol with a release
+// record riding inside the transaction: intent, release, commit. The
+// (reportSeq, value) binding becomes durable if and only if the
+// charge does, so recovery can never learn a released value whose
+// charge was rolled back, nor a charge whose released value is
+// unknown.
+func (j *Journal) appendChargeRelease(units int64, reportSeq uint64, value int64, flags uint16) bool {
+	p := enc64(units)
+	seq := j.seq // intent and commit share the sequence number
+	if !j.appendRecord(tagIntent, p[:]) {
+		return false
+	}
+	s, v := enc64(int64(reportSeq)), enc64(value)
+	if !j.appendRecord(tagRelease, []uint16{s[0], s[1], s[2], s[3], v[0], v[1], v[2], v[3], flags}) {
+		return false
+	}
+	j.seq = seq // commit reuses the intent's seq for pairing
+	return j.appendRecord(tagCommit, nil)
+}
+
 func (j *Journal) appendCheckpoint(units int64) bool {
 	p := enc64(units)
 	return j.appendRecord(tagCheckpoint, p[:])
@@ -183,6 +232,41 @@ func (j *Journal) Snapshot() []uint16 {
 	return append([]uint16(nil), j.words...)
 }
 
+// Release is one durably recorded (report sequence → noised value)
+// binding: the value the DP-Box released for that sequence, exactly
+// once, with the budget charge that paid for it. Retransmissions and
+// crash recovery replay it verbatim instead of redrawing noise.
+type Release struct {
+	// Value is the released noised output in steps.
+	Value int64
+	// Degraded reports that the release came from the resample
+	// watchdog's certified thresholding clamp.
+	Degraded bool
+	// FromCache reports a zero-charge release: the value replays an
+	// earlier charged output (budget exhausted or URNG gate closed)
+	// rather than fresh noise.
+	FromCache bool
+}
+
+func (r Release) flags() uint16 {
+	var f uint16
+	if r.Degraded {
+		f |= relFlagDegraded
+	}
+	if r.FromCache {
+		f |= relFlagFromCache
+	}
+	return f
+}
+
+func releaseFromFlags(value int64, f uint16) Release {
+	return Release{
+		Value:     value,
+		Degraded:  f&relFlagDegraded != 0,
+		FromCache: f&relFlagFromCache != 0,
+	}
+}
+
 // LedgerState is the budget ledger state reconstructed by Replay.
 type LedgerState struct {
 	// Configured reports whether a config record was recovered; false
@@ -194,6 +278,9 @@ type LedgerState struct {
 	Units int64
 	// ReplenishEvery is the locked replenishment period in cycles.
 	ReplenishEvery uint64
+	// Releases maps report sequence numbers to their durably released
+	// values (nil when the journal holds none).
+	Releases map[uint64]Release
 }
 
 // Replay reconstructs the ledger from the durable words. A truncated
@@ -204,7 +291,9 @@ func (j *Journal) Replay() (LedgerState, error) {
 	var st LedgerState
 	var pendAmt int64
 	var pendSeq uint16
-	pending := false
+	var pendRelSeq uint64
+	var pendRel Release
+	pending, pendingRel := false, false
 	w := j.words
 	for i := 0; i < len(w); {
 		hdr := w[i]
@@ -231,19 +320,33 @@ func (j *Journal) Replay() (LedgerState, error) {
 			st.Units = st.InitialUnits
 		case tagIntent:
 			pending, pendSeq, pendAmt = true, seq, dec64(payload)
+			pendingRel = false
+		case tagRelease:
+			if !pending {
+				return st, errors.New("dpbox: journal release record outside a charge transaction")
+			}
+			pendRelSeq = uint64(dec64(payload[0:4]))
+			pendRel = releaseFromFlags(dec64(payload[4:8]), payload[8])
+			pendingRel = true
 		case tagCommit:
 			if pending && seq == pendSeq {
 				st.Units -= pendAmt
 				if st.Units < 0 {
 					st.Units = 0
 				}
+				if pendingRel {
+					if st.Releases == nil {
+						st.Releases = make(map[uint64]Release)
+					}
+					st.Releases[pendRelSeq] = pendRel
+				}
 			}
-			pending = false
+			pending, pendingRel = false, false
 		case tagReplenish:
-			pending = false
+			pending, pendingRel = false, false
 			st.Units = st.InitialUnits
 		case tagCheckpoint:
-			pending = false
+			pending, pendingRel = false, false
 			st.Units = dec64(payload)
 		}
 		i += 1 + n + 1
@@ -251,13 +354,30 @@ func (j *Journal) Replay() (LedgerState, error) {
 	return st, nil
 }
 
-// compact rewrites the journal as a fresh config + checkpoint pair,
-// bounding NVM growth across power cycles.
+// compact rewrites the journal as a fresh config + checkpoint pair
+// followed by the most recent release bindings (up to
+// compactReleaseCap, as zero-charge transactions — the checkpoint
+// already accounts for their spend), bounding NVM growth across power
+// cycles while keeping the retransmission window replayable.
 func (j *Journal) compact(st LedgerState) error {
 	j.words = j.words[:0]
 	j.seq = 0
 	if !j.appendConfig(st.InitialUnits, st.ReplenishEvery) || !j.appendCheckpoint(st.Units) {
 		return errors.New("dpbox: journal compaction failed (NVM dead)")
+	}
+	seqs := make([]uint64, 0, len(st.Releases))
+	for s := range st.Releases {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+	if len(seqs) > compactReleaseCap {
+		seqs = seqs[len(seqs)-compactReleaseCap:]
+	}
+	for _, s := range seqs {
+		rel := st.Releases[s]
+		if !j.appendChargeRelease(0, s, rel.Value, rel.flags()) {
+			return errors.New("dpbox: journal compaction failed (NVM dead)")
+		}
 	}
 	return nil
 }
@@ -295,6 +415,14 @@ func Recover(cfg Config, j *Journal) (*DPBox, error) {
 	b.ledger.replenishEvery = st.ReplenishEvery
 	b.ledger.since = 0
 	b.ledger.locked = true
+	// Restore the release cache so sequence-labelled retries replay
+	// the pre-crash values instead of redrawing. The in-memory cache
+	// keeps everything the replay recovered; only the compacted NVM
+	// copy is trimmed to the retransmission window, so a second crash
+	// preserves at least that window.
+	for seq, rel := range st.Releases {
+		b.recordRelease(seq, rel)
+	}
 	b.phase = PhaseWaiting
 	return b, nil
 }

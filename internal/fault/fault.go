@@ -1,18 +1,25 @@
-// Package fault is the injectable fault plane for the DP-Box pipeline.
+// Package fault is the injectable fault plane for the DP-Box pipeline
+// and the fleet transport above it.
 //
 // A *Plane carries at most one injector per fault site — the URNG word
-// stream, the CORDIC/log datapath, the command register, and the power
-// rail — and is threaded through the simulator by the owning component
-// (dpbox wires it into urng.Source and laplace.LogUnit wrappers and
-// into its command decoder and cycle counter). Every hook is
-// zero-cost-when-nil: with no injector installed a wrapped call is one
-// pointer load and a nil compare on top of the real draw, and nothing
-// allocates on the hot path.
+// stream, the CORDIC/log datapath, the command register, the power
+// rail, and the packet link — and is threaded through the simulator by
+// the owning component (dpbox wires it into urng.Source and
+// laplace.LogUnit wrappers and into its command decoder and cycle
+// counter; transport.Link wires it into its frame scheduler). Every
+// hook is zero-cost-when-nil: with no injector installed a wrapped
+// call is one pointer load and a nil compare on top of the real draw,
+// and nothing allocates on the hot path.
 //
-// The plane is deliberately single-owner, single-goroutine state, like
-// the cycle-level simulator it perturbs. It is not safe for concurrent
-// use.
+// The device sites are deliberately single-owner, single-goroutine
+// state, like the cycle-level simulator they perturb. The packet site
+// is the one exception: transport links carry frames between
+// goroutines, so PerturbPacket serializes itself internally and an
+// installed PacketFault must be safe under that serialization (the
+// canned LossyLink injector is).
 package fault
+
+import "sync"
 
 // Kind labels a fault site for the injection counters.
 type Kind int
@@ -26,6 +33,9 @@ const (
 	KindCommand
 	// KindPower counts delivered power-loss events.
 	KindPower
+	// KindPacket counts perturbed transport frames (dropped,
+	// duplicated, delayed or corrupted).
+	KindPacket
 
 	kindCount
 )
@@ -41,6 +51,8 @@ func (k Kind) String() string {
 		return "command"
 	case KindPower:
 		return "power"
+	case KindPacket:
+		return "packet"
 	}
 	return "unknown"
 }
@@ -56,6 +68,41 @@ type LogFault func(cycle uint64, raw int64) int64
 // plus data word) before the device decodes it.
 type CommandFault func(cycle uint64, cmd uint8, data int64) (uint8, int64)
 
+// Link directions for the packet site.
+const (
+	// DirUp labels node→collector frames (reports).
+	DirUp uint8 = 0
+	// DirDown labels collector→node frames (ACKs).
+	DirDown uint8 = 1
+)
+
+// PacketFate is the verdict of the packet injector on one frame. The
+// zero value delivers the frame untouched, exactly once, in order.
+type PacketFate struct {
+	// Drop discards the frame entirely.
+	Drop bool
+	// Duplicates is the number of extra copies delivered after the
+	// original.
+	Duplicates int
+	// Delay holds the frame back until that many later frames have
+	// been offered on the same direction (reordering). The link
+	// releases held frames when the hold expires or the direction
+	// drains, so a delayed frame is late, never lost.
+	Delay int
+	// Corrupt flips FlipBit (an index into the payload's bits, taken
+	// modulo its length) in flight; the receiver's checksum is
+	// expected to catch it.
+	Corrupt bool
+	// FlipBit selects the corrupted bit when Corrupt is set.
+	FlipBit int
+}
+
+// PacketFault decides the fate of one transport frame. n counts frames
+// offered on the plane's packet site (both directions), and payload is
+// the marshalled frame — the fault must not mutate it (corruption goes
+// through FlipBit so the link can corrupt a copy).
+type PacketFault func(n uint64, dir uint8, payload []byte) PacketFate
+
 // Plane is one device's fault plane. The zero value (and a nil *Plane)
 // injects nothing.
 type Plane struct {
@@ -69,6 +116,15 @@ type Plane struct {
 	powerCycle uint64
 
 	counts [kindCount]uint64
+
+	// The packet site crosses goroutines (transport links are
+	// concurrent); its injector, frame counter and injection count are
+	// guarded separately so the single-goroutine device sites stay
+	// lock-free.
+	pktMu    sync.Mutex
+	pktFault PacketFault
+	pktN     uint64
+	pktCount uint64
 }
 
 // NewPlane returns an empty fault plane.
@@ -117,7 +173,41 @@ func (p *Plane) Injections(k Kind) uint64 {
 	if k < 0 || k >= kindCount {
 		return 0
 	}
+	if k == KindPacket {
+		p.pktMu.Lock()
+		defer p.pktMu.Unlock()
+		return p.pktCount
+	}
 	return p.counts[k]
+}
+
+// SetPacketFault installs (or, with nil, removes) the packet injector.
+// Safe to call concurrently with link traffic.
+func (p *Plane) SetPacketFault(f PacketFault) {
+	p.pktMu.Lock()
+	p.pktFault = f
+	p.pktMu.Unlock()
+}
+
+// PerturbPacket applies the packet injector, if any, to one frame and
+// returns its fate. Frames from concurrent senders are serialized, so
+// the injector sees a total order and deterministic schedules stay
+// deterministic per-stream. The zero fate (deliver untouched) is
+// returned when no injector is installed.
+func (p *Plane) PerturbPacket(dir uint8, payload []byte) PacketFate {
+	p.pktMu.Lock()
+	defer p.pktMu.Unlock()
+	f := p.pktFault
+	if f == nil {
+		return PacketFate{}
+	}
+	n := p.pktN
+	p.pktN++
+	fate := f(n, dir, payload)
+	if fate.Drop || fate.Duplicates != 0 || fate.Delay != 0 || fate.Corrupt {
+		p.pktCount++
+	}
+	return fate
 }
 
 // PerturbCommand applies the command-register injector, if any.
@@ -270,6 +360,67 @@ func LogOffset(delta int64) LogFault {
 // a constant raw value.
 func LogStuck(raw int64) LogFault {
 	return func(uint64, int64) int64 { return raw }
+}
+
+// LinkProfile parameterizes the canned lossy-link packet injector.
+// All probabilities are per-frame and independent; the zero profile is
+// a perfect link.
+type LinkProfile struct {
+	// Drop is the probability a frame is discarded.
+	Drop float64
+	// Duplicate is the probability one extra copy is delivered.
+	Duplicate float64
+	// Reorder is the probability a frame is held back behind later
+	// frames (delayed by 1..MaxDelay slots).
+	Reorder float64
+	// Corrupt is the probability one payload bit is flipped in flight.
+	Corrupt float64
+	// MaxDelay caps the reorder holdback in frames (default 3).
+	MaxDelay int
+}
+
+// LossyLink returns a packet fault drawing each frame's fate from the
+// profile with a dedicated seeded generator (an xorshift64*, so the
+// schedule is reproducible and independent of every device RNG). The
+// returned fault owns its generator and must be installed on exactly
+// one plane; PerturbPacket's serialization makes it concurrency-safe.
+func LossyLink(seed uint64, prof LinkProfile) PacketFault {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	maxDelay := prof.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 3
+	}
+	state := seed
+	next := func() uint64 {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return state * 0x2545F4914F6CDD1D
+	}
+	unit := func() float64 {
+		return float64(next()>>11) / (1 << 53)
+	}
+	return func(_ uint64, _ uint8, payload []byte) PacketFate {
+		var fate PacketFate
+		// Every frame draws drop, duplicate and reorder exactly once,
+		// so one frame's fate never shifts the draws of the next.
+		if unit() < prof.Drop {
+			fate.Drop = true
+		}
+		if unit() < prof.Duplicate {
+			fate.Duplicates = 1
+		}
+		if unit() < prof.Reorder {
+			fate.Delay = 1 + int(next()%uint64(maxDelay))
+		}
+		if unit() < prof.Corrupt && len(payload) > 0 {
+			fate.Corrupt = true
+			fate.FlipBit = int(next() % uint64(len(payload)*8))
+		}
+		return fate
+	}
 }
 
 // CommandBitFlip returns a command fault that XORs cmdMask into the

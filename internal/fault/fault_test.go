@@ -149,3 +149,74 @@ func TestNilPlaneSemantics(t *testing.T) {
 		t.Fatal("zero plane perturbed command")
 	}
 }
+
+func TestPacketSitePassThrough(t *testing.T) {
+	p := NewPlane()
+	fate := p.PerturbPacket(DirUp, []byte{1, 2, 3})
+	if fate.Drop || fate.Duplicates != 0 || fate.Delay != 0 || fate.Corrupt {
+		t.Fatalf("non-zero fate with no injector: %+v", fate)
+	}
+	if p.Injections(KindPacket) != 0 {
+		t.Fatalf("spurious packet injection count")
+	}
+}
+
+func TestLossyLinkDeterministicSchedule(t *testing.T) {
+	// Two planes with the same seed and profile must hand every frame
+	// the same fate, frame for frame.
+	prof := LinkProfile{Drop: 0.3, Duplicate: 0.2, Reorder: 0.2, Corrupt: 0.2, MaxDelay: 4}
+	a, b := NewPlane(), NewPlane()
+	a.SetPacketFault(LossyLink(7, prof))
+	b.SetPacketFault(LossyLink(7, prof))
+	payload := []byte{0xAB, 0xCD, 0xEF, 0x01}
+	for i := 0; i < 512; i++ {
+		fa := a.PerturbPacket(DirUp, payload)
+		fb := b.PerturbPacket(DirUp, payload)
+		if fa != fb {
+			t.Fatalf("frame %d: fates diverge: %+v vs %+v", i, fa, fb)
+		}
+		if fa.Delay < 0 || fa.Delay > prof.MaxDelay {
+			t.Fatalf("frame %d: delay %d outside [0, %d]", i, fa.Delay, prof.MaxDelay)
+		}
+		if fa.Corrupt && (fa.FlipBit < 0 || fa.FlipBit >= len(payload)*8) {
+			t.Fatalf("frame %d: flip bit %d out of payload range", i, fa.FlipBit)
+		}
+	}
+	if a.Injections(KindPacket) != b.Injections(KindPacket) {
+		t.Fatalf("injection counts diverge: %d vs %d",
+			a.Injections(KindPacket), b.Injections(KindPacket))
+	}
+	if a.Injections(KindPacket) == 0 {
+		t.Fatal("profile with 0.3 drop delivered zero injections over 512 frames")
+	}
+}
+
+func TestLossyLinkRates(t *testing.T) {
+	// Loose sanity band on the empirical drop rate over many frames.
+	p := NewPlane()
+	p.SetPacketFault(LossyLink(11, LinkProfile{Drop: 0.25}))
+	const n = 20000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if p.PerturbPacket(DirUp, []byte{1}).Drop {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if rate < 0.22 || rate > 0.28 {
+		t.Fatalf("empirical drop rate %.3f far from configured 0.25", rate)
+	}
+}
+
+func TestZeroProfileIsPerfectLink(t *testing.T) {
+	p := NewPlane()
+	p.SetPacketFault(LossyLink(3, LinkProfile{}))
+	for i := 0; i < 256; i++ {
+		if fate := p.PerturbPacket(DirDown, []byte{9, 9}); fate != (PacketFate{}) {
+			t.Fatalf("zero profile perturbed frame %d: %+v", i, fate)
+		}
+	}
+	if p.Injections(KindPacket) != 0 {
+		t.Fatal("zero profile counted injections")
+	}
+}

@@ -1,0 +1,372 @@
+// Package fleet is the chaos harness: it stands up N complete nodes
+// (journaled DP-Box + ReportAgent) talking to one collector over
+// independently seeded lossy links, optionally crash-recovering each
+// node on a deterministic schedule, and then checks the two fleet
+// invariants end to end:
+//
+//  1. Exactly-once noising: the set of distinct noised values the
+//     collector recorded for a node is bit-identical to the set the
+//     node's journal charged — no double-noise, no uncharged release.
+//  2. Chaos-transparency: a run under any link chaos profile
+//     converges to the same per-node values and the same aggregate
+//     as the lossless run with the same seeds, because retransmits
+//     replay journaled values and the collector dedups by (node, seq).
+//
+// Everything is derived from one master seed — URNG streams, link
+// schedules, backoff jitter, post-crash reseeds — so a failing grid
+// point reproduces exactly.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"ulpdp/internal/collector"
+	"ulpdp/internal/dpbox"
+	"ulpdp/internal/fault"
+	"ulpdp/internal/node"
+	"ulpdp/internal/transport"
+	"ulpdp/internal/urng"
+)
+
+// Config parameterizes one fleet run.
+type Config struct {
+	// Nodes is the fleet size (default 4).
+	Nodes int
+	// Reports is the reports each node delivers (default 4).
+	Reports int
+	// Budget is each node's privacy budget in nats (default 1e6).
+	Budget float64
+	// Link is the chaos profile applied to every link (zero value =
+	// lossless).
+	Link fault.LinkProfile
+	// Seed is the master seed; every other stream derives from it.
+	Seed uint64
+	// CrashEvery crash-recovers each node after every k-th report
+	// (0 = never). The crash lands after noising — possibly mid-
+	// retry, before the ACK — so recovery must replay, not redraw.
+	CrashEvery int
+	// Deadline bounds the whole run (default 2 minutes).
+	Deadline time.Duration
+	// BreakerThreshold overrides the collector's breaker threshold
+	// (default 64: chaos stalls shouldn't wedge a healthy node, and
+	// if a breaker does trip, retries ride out the open window).
+	BreakerThreshold int
+}
+
+// NodeResult is the per-node evidence the invariants are checked
+// against.
+type NodeResult struct {
+	// Recorded is the collector's distinct (seq, value) map.
+	Recorded map[uint64]int64
+	// Released is the node journal's (seq, release) map.
+	Released map[uint64]dpbox.Release
+	// SpendNats is the budget actually consumed.
+	SpendNats float64
+	// ExpectedSpendNats sums the charges reported at first noising.
+	ExpectedSpendNats float64
+	// Crashes counts crash-recovery cycles.
+	Crashes int
+	// Redeliveries counts Resume calls forced by exhausted retry
+	// budgets (the at-least-once loop above the agent's own loop).
+	Redeliveries int
+}
+
+// Result is one completed fleet run.
+type Result struct {
+	// Nodes holds per-node evidence, indexed by NodeID.
+	Nodes []NodeResult
+	// Aggregate is the collector's final rollup.
+	Aggregate collector.Aggregate
+	// Collector is the collector's event counters.
+	Collector collector.Stats
+	// Link sums every link's event counters.
+	Link transport.Stats
+	// Violations lists every invariant-1 breach detected in-run.
+	Violations []string
+}
+
+// splitmix64 derives independent sub-seeds from the master seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// subSeed derives the seed for stream (kind, node, epoch).
+func subSeed(master uint64, kind, nodeID, epoch int) uint64 {
+	s := splitmix64(master ^ uint64(kind)<<48 ^ uint64(nodeID)<<16 ^ uint64(epoch))
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+const (
+	seedURNG = iota + 1
+	seedLink
+	seedJitter
+)
+
+// boxConfig is the fleet's common DP-Box shape.
+func boxConfig(urngSeed uint64, j *dpbox.Journal) dpbox.Config {
+	return dpbox.Config{
+		Bu: 12, By: 10, Mult: 2,
+		Multipliers: []float64{1.25, 1.5},
+		Source:      urng.NewTaus88(urngSeed),
+		Journal:     j,
+	}
+}
+
+// reading is the deterministic sensor trace: node i's r-th reading.
+func reading(i, r int) int64 { return int64((3*i + 5*r) % 17) }
+
+// Run executes one fleet run and gathers the evidence.
+func Run(cfg Config) (Result, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Reports <= 0 {
+		cfg.Reports = 4
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 1e6
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 2 * time.Minute
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 64
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Deadline)
+	defer cancel()
+
+	col := collector.New(collector.Config{BreakerThreshold: cfg.BreakerThreshold})
+	defer col.Close()
+
+	links := make([]*transport.Link, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		fp := fault.NewPlane()
+		fp.SetPacketFault(fault.LossyLink(subSeed(cfg.Seed, seedLink, i, 0), cfg.Link))
+		links[i] = transport.NewLink(transport.LinkConfig{Plane: fp})
+		if err := col.Attach(transport.NodeID(i), links[i].CollectorEnd()); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{Nodes: make([]NodeResult, cfg.Nodes)}
+	var (
+		wg    sync.WaitGroup
+		resMu sync.Mutex
+	)
+	violate := func(format string, args ...any) {
+		resMu.Lock()
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+		resMu.Unlock()
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nr := &NodeResult{}
+			defer func() {
+				resMu.Lock()
+				res.Nodes[i] = *nr
+				resMu.Unlock()
+			}()
+
+			j := dpbox.NewJournal()
+			box, err := dpbox.New(boxConfig(subSeed(cfg.Seed, seedURNG, i, 0), j))
+			if err != nil {
+				violate("node %d: %v", i, err)
+				return
+			}
+			if err := box.Initialize(cfg.Budget, 0); err != nil {
+				violate("node %d: %v", i, err)
+				return
+			}
+			if err := box.Configure(1, 0, 16); err != nil {
+				violate("node %d: %v", i, err)
+				return
+			}
+			agentCfg := node.AgentConfig{
+				ID:          transport.NodeID(i),
+				MaxAttempts: 64,
+				JitterSeed:  subSeed(cfg.Seed, seedJitter, i, 0),
+			}
+			agent := node.NewReportAgent(box, links[i].NodeEnd(), agentCfg)
+
+			for r := 0; r < cfg.Reports; r++ {
+				out, err := agent.Report(ctx, reading(i, r))
+				if err != nil {
+					if ctx.Err() != nil {
+						violate("node %d seq %d: %v", i, r, err)
+						return
+					}
+					if _, ok := box.ReleaseFor(uint64(r)); !ok {
+						// Nothing journaled: the noising itself (not
+						// just delivery) failed.
+						violate("node %d seq %d: %v", i, r, err)
+						return
+					}
+					// Mid-retry abandonment: the (seq, value) binding
+					// is durable; delivery resumes below, possibly on
+					// the post-crash recovered box.
+				}
+				if out.Replayed {
+					violate("node %d seq %d: first noising was a replay", i, out.Seq)
+				}
+				nr.ExpectedSpendNats += out.Charged
+				delivered := err == nil
+
+				// Deterministic crash schedule: after noising report
+				// r (delivered or not), so recovery sometimes lands
+				// mid-retry with an un-ACKed journaled release.
+				if cfg.CrashEvery > 0 && (r+1)%cfg.CrashEvery == 0 {
+					j.Kill()
+					nr.Crashes++
+					recovered, rerr := dpbox.Recover(boxConfig(subSeed(cfg.Seed, seedURNG, i, nr.Crashes), nil), j)
+					if rerr != nil {
+						violate("node %d crash %d: %v", i, nr.Crashes, rerr)
+						return
+					}
+					if cerr := recovered.Configure(1, 0, 16); cerr != nil {
+						violate("node %d crash %d: %v", i, nr.Crashes, cerr)
+						return
+					}
+					box = recovered
+					agent = node.NewReportAgent(box, links[i].NodeEnd(), agentCfg)
+					if agent.NextSeq() != uint64(r)+1 {
+						violate("node %d crash %d: NextSeq %d, want %d", i, nr.Crashes, agent.NextSeq(), r+1)
+					}
+				}
+
+				for !delivered {
+					if ctx.Err() != nil {
+						violate("node %d seq %d: undelivered at deadline", i, r)
+						return
+					}
+					nr.Redeliveries++
+					if err := agent.Resume(ctx); err == nil {
+						delivered = true
+					}
+				}
+			}
+
+			nr.Released = releasesOf(box)
+			nr.SpendNats = cfg.Budget - box.BudgetRemaining()
+
+			// Crash-consistency cross-check: replaying the journal
+			// must agree with the live ledger.
+			st, err := j.Replay()
+			if err != nil {
+				violate("node %d: journal replay: %v", i, err)
+				return
+			}
+			if live := int64(math.Round((cfg.Budget - nr.SpendNats) * 16)); st.Units != live {
+				violate("node %d: journal units %d != live units %d", i, st.Units, live)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	res.Aggregate = col.Aggregate()
+	res.Collector = col.Stats()
+	for _, l := range links {
+		s := l.Stats()
+		res.Link.Sent += s.Sent
+		res.Link.Delivered += s.Delivered
+		res.Link.Dropped += s.Dropped
+		res.Link.Duplicated += s.Duplicated
+		res.Link.Reordered += s.Reordered
+		res.Link.CorruptedInFlight += s.CorruptedInFlight
+		res.Link.Overflow += s.Overflow
+		res.Link.RejectedCorrupt += s.RejectedCorrupt
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		res.Nodes[i].Recorded = col.Values(transport.NodeID(i))
+	}
+	res.Violations = append(res.Violations, CheckExactlyOnce(cfg, res)...)
+	return res, nil
+}
+
+// releasesOf copies a box's in-memory release cache.
+func releasesOf(b *dpbox.DPBox) map[uint64]dpbox.Release {
+	out := make(map[uint64]dpbox.Release)
+	for s, r := range b.Releases() {
+		out[s] = r
+	}
+	return out
+}
+
+// CheckExactlyOnce verifies invariant 1 on a completed run: per node,
+// the collector's distinct values are exactly the journal's charged
+// releases, one per sequence number, with spend matching the charges.
+func CheckExactlyOnce(cfg Config, res Result) []string {
+	var v []string
+	for i, nr := range res.Nodes {
+		if len(nr.Recorded) != cfg.Reports {
+			v = append(v, fmt.Sprintf("node %d: collector recorded %d distinct reports, want %d", i, len(nr.Recorded), cfg.Reports))
+		}
+		if len(nr.Released) != cfg.Reports {
+			v = append(v, fmt.Sprintf("node %d: journal holds %d releases, want %d", i, len(nr.Released), cfg.Reports))
+		}
+		for seq, val := range nr.Recorded {
+			rel, ok := nr.Released[seq]
+			if !ok {
+				v = append(v, fmt.Sprintf("node %d seq %d: collector has a value the journal never charged", i, seq))
+				continue
+			}
+			if rel.Value != val {
+				v = append(v, fmt.Sprintf("node %d seq %d: collector %d != journal %d", i, seq, val, rel.Value))
+			}
+		}
+		if nr.SpendNats != nr.ExpectedSpendNats {
+			v = append(v, fmt.Sprintf("node %d: spent %g nats, first-noising charges sum to %g", i, nr.SpendNats, nr.ExpectedSpendNats))
+		}
+	}
+	return v
+}
+
+// CompareRuns verifies invariant 2: two runs (chaos vs lossless, or
+// any two profiles) with the same master seed must agree bit-exactly
+// on every node's journaled releases, the collector's recorded
+// values, and the aggregate.
+func CompareRuns(a, b Result) []string {
+	var v []string
+	if len(a.Nodes) != len(b.Nodes) {
+		return []string{fmt.Sprintf("node counts differ: %d vs %d", len(a.Nodes), len(b.Nodes))}
+	}
+	for i := range a.Nodes {
+		an, bn := a.Nodes[i], b.Nodes[i]
+		if len(an.Released) != len(bn.Released) {
+			v = append(v, fmt.Sprintf("node %d: release counts differ: %d vs %d", i, len(an.Released), len(bn.Released)))
+		}
+		for seq, ar := range an.Released {
+			if br, ok := bn.Released[seq]; !ok || ar.Value != br.Value {
+				v = append(v, fmt.Sprintf("node %d seq %d: journaled values differ", i, seq))
+			}
+		}
+		if len(an.Recorded) != len(bn.Recorded) {
+			v = append(v, fmt.Sprintf("node %d: recorded counts differ: %d vs %d", i, len(an.Recorded), len(bn.Recorded)))
+		}
+		for seq, av := range an.Recorded {
+			if bv, ok := bn.Recorded[seq]; !ok || av != bv {
+				v = append(v, fmt.Sprintf("node %d seq %d: recorded values differ", i, seq))
+			}
+		}
+		if an.SpendNats != bn.SpendNats {
+			v = append(v, fmt.Sprintf("node %d: spends differ: %g vs %g nats", i, an.SpendNats, bn.SpendNats))
+		}
+	}
+	if a.Aggregate.Reports != b.Aggregate.Reports || a.Aggregate.Sum != b.Aggregate.Sum {
+		v = append(v, fmt.Sprintf("aggregates differ: %+v vs %+v", a.Aggregate, b.Aggregate))
+	}
+	return v
+}

@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"ulpdp/internal/fault"
+)
+
+// gridSeed is the chaos grid's master seed; CI sweeps it through the
+// FLEET_SEED environment variable.
+func gridSeed(t *testing.T) uint64 {
+	t.Helper()
+	s := os.Getenv("FLEET_SEED")
+	if s == "" {
+		return 0xF1EE7
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad FLEET_SEED %q: %v", s, err)
+	}
+	return v
+}
+
+// profiles is the chaos grid's link axis.
+var profiles = []struct {
+	name string
+	prof fault.LinkProfile
+}{
+	{"lossless", fault.LinkProfile{}},
+	{"drop", fault.LinkProfile{Drop: 0.35}},
+	{"dup-reorder", fault.LinkProfile{Duplicate: 0.3, Reorder: 0.25, MaxDelay: 3}},
+	{"corrupt", fault.LinkProfile{Corrupt: 0.2}},
+	{"filthy", fault.LinkProfile{Drop: 0.3, Duplicate: 0.2, Reorder: 0.2, Corrupt: 0.1, MaxDelay: 3}},
+}
+
+// TestChaosGrid sweeps link-profile x crash-schedule and asserts both
+// fleet invariants at every grid point: exactly-once accounting
+// in-run, and bit-exact agreement with the lossless same-seed
+// baseline.
+func TestChaosGrid(t *testing.T) {
+	base := Config{Nodes: 6, Reports: 6, Seed: gridSeed(t)}
+
+	for _, crashEvery := range []int{0, 2} {
+		cfg := base
+		cfg.CrashEvery = crashEvery
+		baseline, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("crash=%d baseline: %v", crashEvery, err)
+		}
+		if len(baseline.Violations) != 0 {
+			t.Fatalf("crash=%d baseline violations: %v", crashEvery, baseline.Violations)
+		}
+		for _, p := range profiles[1:] {
+			p := p
+			t.Run(fmt.Sprintf("%s/crash=%d", p.name, crashEvery), func(t *testing.T) {
+				t.Parallel()
+				cfg := base
+				cfg.CrashEvery = crashEvery
+				cfg.Link = p.prof
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Invariant 1: exactly-once accounting under chaos.
+				if len(res.Violations) != 0 {
+					t.Fatalf("violations: %v", res.Violations)
+				}
+				// Invariant 2: the chaos run converges to the
+				// lossless baseline bit-exactly.
+				if diffs := CompareRuns(res, baseline); len(diffs) != 0 {
+					t.Fatalf("diverged from lossless baseline: %v", diffs)
+				}
+				// The chaos actually did something.
+				st := res.Link
+				if p.prof.Drop > 0 && st.Dropped == 0 {
+					t.Error("profile drops but link dropped nothing")
+				}
+				if p.prof.Duplicate > 0 && st.Duplicated == 0 {
+					t.Error("profile duplicates but link duplicated nothing")
+				}
+				if p.prof.Corrupt > 0 && st.CorruptedInFlight == 0 {
+					t.Error("profile corrupts but link corrupted nothing")
+				}
+			})
+		}
+	}
+}
+
+// TestCrashScheduleChargesOnce pins the crash axis specifically: with
+// a crash after every report, every value must still be charged
+// exactly once and delivered exactly once.
+func TestCrashScheduleChargesOnce(t *testing.T) {
+	res, err := Run(Config{
+		Nodes: 4, Reports: 5, Seed: 77, CrashEvery: 1,
+		Link: fault.LinkProfile{Drop: 0.4, Duplicate: 0.2, Reorder: 0.15, MaxDelay: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	for i, nr := range res.Nodes {
+		if nr.Crashes != 5 {
+			t.Errorf("node %d crashed %d times, want 5", i, nr.Crashes)
+		}
+	}
+}
+
+// TestSeedChangesValues is the negative control for invariant 2: a
+// different master seed must actually produce different values, or
+// the bit-exact comparisons above are vacuous.
+func TestSeedChangesValues(t *testing.T) {
+	a, err := Run(Config{Nodes: 3, Reports: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Nodes: 3, Reports: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(CompareRuns(a, b)) == 0 {
+		t.Fatal("different seeds produced identical fleets")
+	}
+}

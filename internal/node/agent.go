@@ -1,0 +1,246 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ulpdp/internal/dpbox"
+	"ulpdp/internal/transport"
+)
+
+// AgentConfig parameterizes a ReportAgent's retry policy. The zero
+// value gets simulation-friendly defaults (sub-millisecond backoff);
+// a real radio stack would scale every duration up.
+type AgentConfig struct {
+	// ID is this node's fleet identity.
+	ID transport.NodeID
+	// MaxAttempts bounds transmissions per report (default 24).
+	MaxAttempts int
+	// AckWait is the per-attempt ACK wait (default 2ms).
+	AckWait time.Duration
+	// BackoffBase seeds the capped exponential backoff (default 200µs).
+	BackoffBase time.Duration
+	// BackoffCap caps the backoff (default 4ms).
+	BackoffCap time.Duration
+	// JitterSeed seeds the deterministic backoff jitter.
+	JitterSeed uint64
+}
+
+// ReportOutcome describes one delivered (or abandoned) report.
+type ReportOutcome struct {
+	// Seq is the report's sequence number.
+	Seq uint64
+	// Value is the noised value that was (re)transmitted.
+	Value int64
+	// Attempts counts transmissions, including the successful one.
+	Attempts int
+	// Charged is the budget charge in nats (0 for replays and
+	// cache serves).
+	Charged float64
+	// Degraded, FromCache, Replayed mirror dpbox.NoiseResult.
+	Degraded  bool
+	FromCache bool
+	Replayed  bool
+}
+
+// ReportAgent is the node-side half of the fleet protocol: at-most-
+// once noising, at-least-once delivery.
+//
+// Each report gets the next monotonic sequence number and is noised
+// through dpbox.NoiseValueSeq, which journals the (seq, value)
+// binding inside the budget charge transaction. Every retransmission
+// of that sequence number carries the journaled value verbatim —
+// after any schedule of drops, timeouts, and even a node crash, the
+// value on the air for a given seq never changes and the budget is
+// charged exactly once. Delivery retries with capped exponential
+// backoff plus deterministic jitter until the collector ACKs
+// (node, seq) or the context expires.
+//
+// An agent is single-goroutine: one outstanding report at a time, by
+// construction (the paper's DP-Box serves one transaction at a time
+// anyway).
+type ReportAgent struct {
+	box *dpbox.DPBox
+	end *transport.Endpoint
+	cfg AgentConfig
+
+	next      uint64
+	jitter    uint64
+	lastAcked uint64
+	anyAcked  bool
+}
+
+// NewReportAgent wires an agent to its DP-Box and link endpoint. The
+// next sequence number resumes from the box's journal, so an agent
+// built on a crash-recovered box continues the numbering instead of
+// reusing (and re-noising) old sequence numbers.
+func NewReportAgent(box *dpbox.DPBox, end *transport.Endpoint, cfg AgentConfig) *ReportAgent {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 24
+	}
+	if cfg.AckWait <= 0 {
+		cfg.AckWait = 2 * time.Millisecond
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 200 * time.Microsecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 4 * time.Millisecond
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = uint64(cfg.ID)*0x9E3779B97F4A7C15 + 1
+	}
+	return &ReportAgent{
+		box:    box,
+		end:    end,
+		cfg:    cfg,
+		next:   box.NextSeq(),
+		jitter: cfg.JitterSeed,
+	}
+}
+
+// NextSeq returns the sequence number the next Report will use.
+func (a *ReportAgent) NextSeq() uint64 { return a.next }
+
+// rand steps the agent's private xorshift64* jitter stream.
+func (a *ReportAgent) rand() uint64 {
+	a.jitter ^= a.jitter >> 12
+	a.jitter ^= a.jitter << 25
+	a.jitter ^= a.jitter >> 27
+	return a.jitter * 0x2545F4914F6CDD1D
+}
+
+// backoff returns the pause before attempt k (k ≥ 1): capped
+// exponential with full jitter, so colliding nodes desynchronize.
+func (a *ReportAgent) backoff(k int) time.Duration {
+	d := a.cfg.BackoffBase << uint(k-1)
+	if d > a.cfg.BackoffCap || d <= 0 {
+		d = a.cfg.BackoffCap
+	}
+	// Full jitter in [d/2, d].
+	half := d / 2
+	return half + time.Duration(a.rand()%uint64(half+1))
+}
+
+// Report noises x exactly once under the next sequence number and
+// delivers it at-least-once. On error the (seq, value) binding is
+// already durable; Resume (or a fresh agent on the recovered box)
+// retransmits the identical value later.
+func (a *ReportAgent) Report(ctx context.Context, x int64) (ReportOutcome, error) {
+	seq := a.next
+	res, err := a.box.NoiseValueSeq(seq, x)
+	if err != nil {
+		return ReportOutcome{Seq: seq}, fmt.Errorf("node: noising seq %d: %w", seq, err)
+	}
+	a.next = seq + 1
+
+	out := ReportOutcome{
+		Seq:       seq,
+		Value:     res.Value,
+		Charged:   res.Charged,
+		Degraded:  res.Degraded,
+		FromCache: res.FromCache,
+		Replayed:  res.Replayed,
+	}
+	attempts, err := a.deliver(ctx, a.packet(seq, res.Value, res.Degraded, res.FromCache))
+	out.Attempts = attempts
+	return out, err
+}
+
+// Resume retransmits the most recent journaled release until ACKed.
+// Call it after crash recovery: at most one report can be outstanding
+// (the agent is sequential), and re-delivering an already-ACKed
+// sequence number is harmless — the collector dedups by (node, seq).
+func (a *ReportAgent) Resume(ctx context.Context) error {
+	if a.next == 0 {
+		return nil // nothing ever released
+	}
+	seq := a.next - 1
+	rel, ok := a.box.ReleaseFor(seq)
+	if !ok {
+		return fmt.Errorf("node: no journaled release for seq %d", seq)
+	}
+	_, err := a.deliver(ctx, a.packet(seq, rel.Value, rel.Degraded, rel.FromCache))
+	return err
+}
+
+func (a *ReportAgent) packet(seq uint64, value int64, degraded, fromCache bool) transport.Packet {
+	var flags uint8
+	if degraded {
+		flags |= transport.FlagDegraded
+	}
+	if fromCache {
+		flags |= transport.FlagFromCache
+	}
+	if !a.box.Healthy() {
+		flags |= transport.FlagUnhealthy
+	}
+	return transport.Packet{
+		Kind:  transport.KindReport,
+		Node:  a.cfg.ID,
+		Seq:   seq,
+		Value: value,
+		Flags: flags,
+	}
+}
+
+// deliver retransmits pkt verbatim until an ACK for (node, seq)
+// arrives, attempts run out, or the context expires.
+func (a *ReportAgent) deliver(ctx context.Context, pkt transport.Packet) (int, error) {
+	for attempt := 1; attempt <= a.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return attempt - 1, fmt.Errorf("node: delivering seq %d: %w", pkt.Seq, err)
+		}
+		a.end.Send(pkt)
+		if a.awaitAck(ctx, pkt.Seq) {
+			return attempt, nil
+		}
+		if attempt < a.cfg.MaxAttempts {
+			if !sleepCtx(ctx, a.backoff(attempt)) {
+				return attempt, fmt.Errorf("node: delivering seq %d: %w", pkt.Seq, ctx.Err())
+			}
+		}
+	}
+	return a.cfg.MaxAttempts, fmt.Errorf("node: seq %d unacked after %d attempts", pkt.Seq, a.cfg.MaxAttempts)
+}
+
+// awaitAck waits one AckWait window for an ACK of seq, absorbing
+// stale ACKs (earlier sequence numbers, duplicate deliveries) without
+// giving up the window.
+func (a *ReportAgent) awaitAck(ctx context.Context, seq uint64) bool {
+	deadline := time.Now().Add(a.cfg.AckWait)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 || ctx.Err() != nil {
+			return false
+		}
+		ack, ok := a.end.Recv(remain)
+		if !ok {
+			return false
+		}
+		if ack.Kind != transport.KindAck || ack.Node != a.cfg.ID {
+			continue
+		}
+		if !a.anyAcked || ack.Seq > a.lastAcked {
+			a.anyAcked = true
+			a.lastAcked = ack.Seq
+		}
+		if ack.Seq == seq {
+			return true
+		}
+	}
+}
+
+// sleepCtx pauses for d unless the context expires first; it reports
+// whether the full pause completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

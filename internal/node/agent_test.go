@@ -1,0 +1,225 @@
+package node
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ulpdp/internal/dpbox"
+	"ulpdp/internal/fault"
+	"ulpdp/internal/transport"
+	"ulpdp/internal/urng"
+)
+
+// newAgentBox builds a journaled DP-Box ready for sequence-labelled
+// noising.
+func newAgentBox(t *testing.T, seed uint64, budget float64) (*dpbox.DPBox, *dpbox.Journal) {
+	t.Helper()
+	j := dpbox.NewJournal()
+	box, err := dpbox.New(dpbox.Config{
+		Bu: 12, By: 10, Mult: 2,
+		Multipliers: []float64{1.25, 1.5},
+		Source:      urng.NewTaus88(seed),
+		Journal:     j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := box.Initialize(budget, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := box.Configure(1, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	return box, j
+}
+
+// echoCollector ACKs every report and records the last value seen per
+// sequence number. Stop it by cancelling ctx.
+type echoCollector struct {
+	mu   sync.Mutex
+	seen map[uint64]int64
+	done chan struct{}
+}
+
+func runEchoCollector(ctx context.Context, end *transport.Endpoint, id transport.NodeID) *echoCollector {
+	c := &echoCollector{seen: make(map[uint64]int64), done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		for ctx.Err() == nil {
+			p, ok := end.Recv(5 * time.Millisecond)
+			if !ok {
+				continue
+			}
+			if p.Kind != transport.KindReport || p.Node != id {
+				continue
+			}
+			c.mu.Lock()
+			c.seen[p.Seq] = p.Value
+			c.mu.Unlock()
+			end.Send(transport.Packet{Kind: transport.KindAck, Node: p.Node, Seq: p.Seq})
+		}
+	}()
+	return c
+}
+
+func (c *echoCollector) values(ctx context.Context) map[uint64]int64 {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint64]int64, len(c.seen))
+	for s, v := range c.seen {
+		out[s] = v
+	}
+	return out
+}
+
+func TestReportAgentDeliversOverLossyLink(t *testing.T) {
+	fp := fault.NewPlane()
+	fp.SetPacketFault(fault.LossyLink(0xA11CE, fault.LinkProfile{
+		Drop: 0.3, Duplicate: 0.2, Reorder: 0.15, Corrupt: 0.1, MaxDelay: 2,
+	}))
+	link := transport.NewLink(transport.LinkConfig{Plane: fp})
+
+	box, _ := newAgentBox(t, 7, 1e6)
+	agent := NewReportAgent(box, link.NodeEnd(), AgentConfig{ID: 4})
+
+	colCtx, stopCol := context.WithCancel(context.Background())
+	col := runEchoCollector(colCtx, link.CollectorEnd(), 4)
+
+	const n = 20
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		out, err := agent.Report(ctx, int64(4+i%8))
+		if err != nil {
+			t.Fatalf("report %d: %v", i, err)
+		}
+		if out.Seq != uint64(i) {
+			t.Fatalf("report %d got seq %d", i, out.Seq)
+		}
+		if out.Replayed {
+			t.Fatalf("fresh report %d marked replayed", i)
+		}
+	}
+	stopCol()
+	got := col.values(colCtx)
+
+	// Every delivered value must match the journaled release — drops,
+	// retries, duplicates and reordering never change what a sequence
+	// number means.
+	if len(got) != n {
+		t.Fatalf("collector saw %d seqs, want %d", len(got), n)
+	}
+	for seq, v := range got {
+		rel, ok := box.ReleaseFor(seq)
+		if !ok {
+			t.Fatalf("seq %d delivered but not journaled", seq)
+		}
+		if rel.Value != v {
+			t.Fatalf("seq %d: delivered %d, journal says %d", seq, v, rel.Value)
+		}
+	}
+	if agent.NextSeq() != n {
+		t.Fatalf("NextSeq = %d, want %d", agent.NextSeq(), n)
+	}
+}
+
+func TestCrashMidRetryReplaysSameValue(t *testing.T) {
+	// Phase 1: a black-hole uplink — every report frame drops, so the
+	// report is noised, journaled, retransmitted, and never ACKed.
+	fp := fault.NewPlane()
+	fp.SetPacketFault(func(n uint64, dir uint8, payload []byte) fault.PacketFate {
+		if dir == fault.DirUp {
+			return fault.PacketFate{Drop: true}
+		}
+		return fault.PacketFate{}
+	})
+	deadLink := transport.NewLink(transport.LinkConfig{Plane: fp})
+
+	box, j := newAgentBox(t, 7, 1e6)
+	agent := NewReportAgent(box, deadLink.NodeEnd(), AgentConfig{
+		ID: 9, MaxAttempts: 3, AckWait: time.Millisecond,
+	})
+	out, err := agent.Report(context.Background(), 11)
+	if err == nil {
+		t.Fatal("report over a black-hole link succeeded")
+	}
+	rel, ok := box.ReleaseFor(0)
+	if !ok {
+		t.Fatal("undelivered report not journaled")
+	}
+	if rel.Value != out.Value {
+		t.Fatalf("journal %d vs outcome %d", rel.Value, out.Value)
+	}
+	spent := 1e6 - box.BudgetRemaining()
+
+	// Crash mid-retry.
+	j.Kill()
+
+	// Phase 2: recover with a DIFFERENT urng seed — if the recovered
+	// node redrew noise for seq 0, the value would change.
+	recovered, err := dpbox.Recover(dpbox.Config{
+		Bu: 12, By: 10, Mult: 2,
+		Multipliers: []float64{1.25, 1.5},
+		Source:      urng.NewTaus88(9999),
+	}, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovered.Configure(1, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+
+	goodLink := transport.NewLink(transport.LinkConfig{})
+	agent2 := NewReportAgent(recovered, goodLink.NodeEnd(), AgentConfig{ID: 9})
+	if agent2.NextSeq() != 1 {
+		t.Fatalf("recovered NextSeq = %d, want 1", agent2.NextSeq())
+	}
+
+	colCtx, stopCol := context.WithCancel(context.Background())
+	col := runEchoCollector(colCtx, goodLink.CollectorEnd(), 9)
+	if err := agent2.Resume(context.Background()); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	stopCol()
+	got := col.values(colCtx)
+
+	if v, ok := got[0]; !ok || v != out.Value {
+		t.Fatalf("resumed delivery: got %v/%d, want %d", ok, v, out.Value)
+	}
+	// The crash and resume charged nothing extra.
+	if nowSpent := 1e6 - recovered.BudgetRemaining(); nowSpent != spent {
+		t.Fatalf("resume changed spend: %g -> %g nats", spent, nowSpent)
+	}
+	// And a sequence-labelled re-ask still replays bit-exactly.
+	res, err := recovered.NoiseValueSeq(0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Replayed || res.Value != out.Value {
+		t.Fatalf("post-recovery replay: %+v, want value %d", res, out.Value)
+	}
+}
+
+func TestReportAgentContextDeadline(t *testing.T) {
+	fp := fault.NewPlane()
+	fp.SetPacketFault(func(n uint64, dir uint8, payload []byte) fault.PacketFate {
+		return fault.PacketFate{Drop: true}
+	})
+	link := transport.NewLink(transport.LinkConfig{Plane: fp})
+	box, _ := newAgentBox(t, 3, 1e6)
+	agent := NewReportAgent(box, link.NodeEnd(), AgentConfig{ID: 1, AckWait: time.Millisecond})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := agent.Report(ctx, 8); err == nil {
+		t.Fatal("report outlived its context")
+	}
+	// The noised value survives the abandonment: delivery failed,
+	// noising did not, and the binding is durable.
+	if _, ok := box.ReleaseFor(0); !ok {
+		t.Fatal("abandoned report lost its journaled release")
+	}
+}

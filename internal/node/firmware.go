@@ -140,20 +140,58 @@ func (d *Driver) ToggleResampling() error {
 // refusing to serve — the error reports the firmware code and any
 // underlying command error.
 func (d *Driver) Noise(x int16) (int16, uint64, error) {
+	o, err := d.NoiseOutcome(x)
+	return o.Value, o.Cycles, err
+}
+
+// Outcome is one firmware noising transaction with the STATUS-word
+// quality bits decoded: firmware (and the fleet transport above it)
+// can tell a certified-but-degraded release from a normal one.
+type Outcome struct {
+	// Value is the noised output.
+	Value int16
+	// Cycles is the CPU cycles spent, including MMIO polling.
+	Cycles uint64
+	// Degraded reports STATUS.degraded: the resample watchdog tripped
+	// and the output came from the certified thresholding clamp.
+	Degraded bool
+	// FromCache reports STATUS.cache: the output replays the budget
+	// cache rather than fresh noise.
+	FromCache bool
+	// Unhealthy reports STATUS.unhealthy: the URNG health gate is
+	// closed and the box is serving its cache only.
+	Unhealthy bool
+}
+
+// NoiseOutcome runs one firmware noising transaction and decodes the
+// final STATUS word alongside the value. The quality bits come from
+// the same memory-mapped register the firmware polls, so everything
+// reported here is visible to real MSP430 code too.
+func (d *Driver) NoiseOutcome(x int16) (Outcome, error) {
 	d.node.CPU.WriteWord(AddrX, uint16(x))
 	d.node.CPU.Instrs = 0
 	cycles, err := d.node.CPU.Call(d.noise, 100_000)
 	if err != nil {
-		return 0, 0, err
+		return Outcome{}, err
 	}
 	if code := d.node.CPU.ReadWord(AddrErr); code != 0 {
 		if err := d.node.Port.LastErr(); err != nil {
-			return 0, cycles, fmt.Errorf("node: firmware error %d after %d polls: %w", code, PollBudget, err)
+			return Outcome{Cycles: cycles}, fmt.Errorf("node: firmware error %d after %d polls: %w", code, PollBudget, err)
 		}
-		return 0, cycles, fmt.Errorf("node: firmware error %d (DP-Box never ready within %d polls)", code, PollBudget)
+		return Outcome{Cycles: cycles}, fmt.Errorf("node: firmware error %d (DP-Box never ready within %d polls)", code, PollBudget)
 	}
 	if err := d.node.Port.LastErr(); err != nil {
-		return 0, 0, err
+		return Outcome{}, err
 	}
-	return int16(d.node.CPU.ReadWord(AddrOut)), cycles, nil
+	// The transaction is over (the box is back in its waiting phase),
+	// so this read cannot step a noising cycle; it reports the sticky
+	// per-transaction quality bits.
+	status := d.node.Port.ReadWord(d.node.Port.Base + RegStatus)
+	return Outcome{
+		Value:     int16(d.node.CPU.ReadWord(AddrOut)),
+		Cycles:    cycles,
+		Degraded:  status&StatusDegraded != 0,
+		FromCache: status&StatusCache != 0,
+		Unhealthy: status&StatusUnhealthy != 0,
+	}, nil
 }

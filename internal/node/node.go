@@ -13,7 +13,8 @@
 //	+2  DATA   read/write: the data port
 //	+4  OUT    read: the noised output (valid when STATUS.ready)
 //	+6  STATUS read: bit0 ready, bits1-2 phase (3 = dead), bit3
-//	           cache-hit, bit4 URNG-unhealthy; reading STATUS while
+//	           cache-hit, bit4 URNG-unhealthy, bit5 degraded
+//	           (resample watchdog tripped); reading STATUS while
 //	           noising steps the DP-Box one cycle (models the
 //	           polling clock)
 //	+8  BUDGET read: remaining budget in sixteenth-nats (saturated
@@ -43,6 +44,7 @@ const (
 	StatusPhaseLo   = 1 << 1 // two-bit phase field
 	StatusCache     = 1 << 3
 	StatusUnhealthy = 1 << 4 // URNG health gate tripped: box serves cache only
+	StatusDegraded  = 1 << 5 // resample watchdog tripped: output is the certified clamp
 )
 
 // Port maps a DP-Box into an MSP430's data space.
@@ -96,6 +98,9 @@ func (p *Port) ReadWord(addr uint16) uint16 {
 		}
 		if !p.Box.Healthy() {
 			s |= StatusUnhealthy
+		}
+		if p.Box.Ready() && p.Box.LastDegraded() {
+			s |= StatusDegraded
 		}
 		return s
 	case RegBudget:

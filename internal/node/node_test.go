@@ -270,3 +270,66 @@ func TestFirmwareWatchdogOnUnhealthyBox(t *testing.T) {
 		t.Error("unhealthy box must stay alive (fail closed, not dead)")
 	}
 }
+
+// TestDegradedBitReachesFirmwareBoundary trips the resample watchdog
+// with an adversarial URNG and checks the trip is visible both in the
+// STATUS word (bit 5) and in the decoded driver outcome — firmware and
+// fleet transport can tell a certified-degraded release from a normal
+// one.
+func TestDegradedBitReachesFirmwareBoundary(t *testing.T) {
+	fp := fault.NewPlane()
+	box, err := dpbox.New(dpbox.Config{Bu: 12, By: 10, Mult: 2, Source: urng.NewTaus88(9), Faults: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := box.Initialize(1e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := New(box, base)
+	d, err := NewDriver(n, 1, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Configure(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ToggleResampling(); err != nil {
+		t.Fatal(err)
+	}
+	// Honest transaction first: threshold + watchdog derived, no
+	// degraded bit.
+	o, err := d.NoiseOutcome(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Degraded {
+		t.Fatal("honest transaction reported degraded")
+	}
+	if s := n.Port.ReadWord(base + RegStatus); s&StatusDegraded != 0 {
+		t.Fatal("STATUS degraded bit set after honest transaction")
+	}
+
+	// Stuck word 1: maximal noise magnitude with sign 1 on every draw —
+	// never inside the window, so the watchdog must trip.
+	fp.SetURNGFault(fault.StuckWord(1))
+	o, err = d.NoiseOutcome(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Degraded {
+		t.Fatal("watchdog trip invisible in the driver outcome")
+	}
+	if s := n.Port.ReadWord(base + RegStatus); s&StatusDegraded == 0 {
+		t.Fatal("watchdog trip invisible in the STATUS word")
+	}
+
+	// Clearing the fault clears the bit on the next transaction.
+	fp.SetURNGFault(nil)
+	o, err = d.NoiseOutcome(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Degraded {
+		t.Fatal("degraded bit sticky after the fault cleared")
+	}
+}

@@ -1,0 +1,362 @@
+// Package transport is the fleet's in-process lossy link: a simulated
+// radio hop between one ULP node and the collector, with drops,
+// duplication, reordering, corruption and latency jitter injected
+// through the internal/fault packet site so chaos schedules are seeded
+// and reproducible.
+//
+// The link carries 22-byte frames (one report or ACK each) on two
+// directions — up (node → collector) and down (collector → node) —
+// through bounded queues. A full queue behaves like the air going
+// busy: the frame vanishes and the sender's retry loop recovers it,
+// exactly as it recovers a chaos drop. Nothing on the link is
+// reliable; reliability is the ReportAgent/Collector protocol's job
+// (at-least-once delivery, at-most-once noising, idempotent dedup).
+//
+// Reordering is slot-based rather than wall-clock-based: a delayed
+// frame is held back until a configured number of later frames pass
+// it (or the direction drains), which models latency jitter without
+// timers and keeps chaos sweeps deterministic per seed.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ulpdp/internal/fault"
+)
+
+// NodeID identifies one fleet node.
+type NodeID uint16
+
+// Kind is the frame type.
+type Kind uint8
+
+const (
+	// KindReport is a node → collector noised report.
+	KindReport Kind = 1
+	// KindAck is a collector → node acknowledgement of (node, seq).
+	KindAck Kind = 2
+)
+
+// Report flag bits, mirroring the DP-Box STATUS quality bits.
+const (
+	// FlagDegraded marks a release from the resample watchdog's
+	// certified thresholding clamp.
+	FlagDegraded = 1 << 0
+	// FlagFromCache marks a zero-charge cache replay (budget
+	// exhausted or URNG gate closed).
+	FlagFromCache = 1 << 1
+	// FlagUnhealthy marks a report sent while the node's URNG health
+	// battery was failing.
+	FlagUnhealthy = 1 << 2
+)
+
+// Packet is one decoded frame.
+type Packet struct {
+	// Kind is the frame type.
+	Kind Kind
+	// Node is the sending (for reports) or addressed (for ACKs) node.
+	Node NodeID
+	// Seq is the per-node monotonic report sequence number.
+	Seq uint64
+	// Value is the noised reading (reports only; 0 in ACKs).
+	Value int64
+	// Flags carries the report quality bits.
+	Flags uint8
+}
+
+// frameLen is the wire size of one frame:
+// kind(1) flags(1) node(2) seq(8) value(8) checksum(2).
+const frameLen = 22
+
+// ErrCorrupt reports a frame whose checksum does not match: bits were
+// flipped in flight and the frame must be discarded.
+var ErrCorrupt = errors.New("transport: corrupt frame")
+
+// fletcher16 is the frame checksum (two running sums mod 255, the
+// classic serial-link integrity check — cheap enough for a radio MCU
+// and it catches all single-bit flips).
+func fletcher16(b []byte) uint16 {
+	var s1, s2 uint16
+	for _, x := range b {
+		s1 = (s1 + uint16(x)) % 255
+		s2 = (s2 + s1) % 255
+	}
+	return s2<<8 | s1
+}
+
+// Marshal encodes a packet into a fresh frame.
+func Marshal(p Packet) []byte {
+	b := make([]byte, frameLen)
+	b[0] = byte(p.Kind)
+	b[1] = p.Flags
+	b[2], b[3] = byte(p.Node), byte(p.Node>>8)
+	for i := 0; i < 8; i++ {
+		b[4+i] = byte(p.Seq >> (8 * i))
+	}
+	u := uint64(p.Value)
+	for i := 0; i < 8; i++ {
+		b[12+i] = byte(u >> (8 * i))
+	}
+	sum := fletcher16(b[:frameLen-2])
+	b[frameLen-2], b[frameLen-1] = byte(sum), byte(sum>>8)
+	return b
+}
+
+// Unmarshal decodes a frame, verifying length and checksum.
+func Unmarshal(b []byte) (Packet, error) {
+	if len(b) != frameLen {
+		return Packet{}, fmt.Errorf("transport: frame length %d, want %d: %w", len(b), frameLen, ErrCorrupt)
+	}
+	sum := uint16(b[frameLen-2]) | uint16(b[frameLen-1])<<8
+	if fletcher16(b[:frameLen-2]) != sum {
+		return Packet{}, ErrCorrupt
+	}
+	var p Packet
+	p.Kind = Kind(b[0])
+	p.Flags = b[1]
+	p.Node = NodeID(uint16(b[2]) | uint16(b[3])<<8)
+	for i := 0; i < 8; i++ {
+		p.Seq |= uint64(b[4+i]) << (8 * i)
+	}
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[12+i]) << (8 * i)
+	}
+	p.Value = int64(u)
+	if p.Kind != KindReport && p.Kind != KindAck {
+		return Packet{}, fmt.Errorf("transport: unknown frame kind %d: %w", b[0], ErrCorrupt)
+	}
+	return p, nil
+}
+
+// Stats counts link events; read a snapshot with Link.Stats.
+type Stats struct {
+	// Sent counts frames offered to the link (both directions).
+	Sent uint64
+	// Delivered counts frames that reached a receive queue.
+	Delivered uint64
+	// Dropped counts chaos drops.
+	Dropped uint64
+	// Duplicated counts extra chaos copies delivered.
+	Duplicated uint64
+	// Reordered counts frames held back for later delivery.
+	Reordered uint64
+	// CorruptedInFlight counts frames whose payload was perturbed.
+	CorruptedInFlight uint64
+	// Overflow counts frames lost to a full receive queue
+	// (backpressure; the sender's retry recovers them).
+	Overflow uint64
+	// RejectedCorrupt counts received frames discarded by checksum.
+	RejectedCorrupt uint64
+}
+
+// LinkConfig parameterizes a Link.
+type LinkConfig struct {
+	// Plane supplies the packet injector (nil or no injector = a
+	// perfect link). Install fault.LossyLink for probabilistic chaos
+	// or a custom PacketFault for scripted schedules.
+	Plane *fault.Plane
+	// QueueCap bounds each direction's receive queue (default 64).
+	QueueCap int
+}
+
+// held is a frame waiting out its reorder delay.
+type held struct {
+	frame     []byte
+	remaining int
+}
+
+// pipe is one direction of the link.
+type pipe struct {
+	mu   sync.Mutex
+	held []held
+	ch   chan []byte
+}
+
+// Link is a bidirectional lossy hop between one node and the
+// collector. Both ends may be driven from different goroutines; a
+// single end must not be shared.
+type Link struct {
+	plane *fault.Plane
+	up    *pipe
+	down  *pipe
+
+	statMu sync.Mutex
+	stats  Stats
+}
+
+// NewLink builds a link.
+func NewLink(cfg LinkConfig) *Link {
+	cap := cfg.QueueCap
+	if cap <= 0 {
+		cap = 64
+	}
+	return &Link{
+		plane: cfg.Plane,
+		up:    &pipe{ch: make(chan []byte, cap)},
+		down:  &pipe{ch: make(chan []byte, cap)},
+	}
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() Stats {
+	l.statMu.Lock()
+	defer l.statMu.Unlock()
+	return l.stats
+}
+
+func (l *Link) count(f func(*Stats)) {
+	l.statMu.Lock()
+	f(&l.stats)
+	l.statMu.Unlock()
+}
+
+// Endpoint is one end of a link. The node end sends up and receives
+// down; the collector end is the mirror image. Endpoints are
+// goroutine-safe: Send and Recv may run concurrently (the collector
+// ACKs from its processor while a per-node goroutine receives).
+type Endpoint struct {
+	link     *Link
+	sendPipe *pipe
+	recvPipe *pipe
+	sendDir  uint8
+}
+
+// NodeEnd returns the node-side endpoint.
+func (l *Link) NodeEnd() *Endpoint {
+	return &Endpoint{link: l, sendPipe: l.up, recvPipe: l.down, sendDir: fault.DirUp}
+}
+
+// CollectorEnd returns the collector-side endpoint.
+func (l *Link) CollectorEnd() *Endpoint {
+	return &Endpoint{link: l, sendPipe: l.down, recvPipe: l.up, sendDir: fault.DirDown}
+}
+
+// Send offers one packet to the air. It never blocks and reports
+// nothing about delivery — drops, duplication, reordering, corruption
+// and queue overflow all look identical from the sender's side, which
+// is exactly why the protocol above must retransmit until ACKed.
+func (e *Endpoint) Send(p Packet) {
+	l := e.link
+	frame := Marshal(p)
+	l.count(func(s *Stats) { s.Sent++ })
+
+	var fate fault.PacketFate
+	if l.plane != nil {
+		fate = l.plane.PerturbPacket(e.sendDir, frame)
+	}
+	if fate.Corrupt {
+		frame[(fate.FlipBit/8)%frameLen] ^= 1 << (fate.FlipBit % 8)
+		l.count(func(s *Stats) { s.CorruptedInFlight++ })
+	}
+
+	p2 := e.sendPipe
+	p2.mu.Lock()
+	// Every send ages the holdbacks; expired frames deliver first so
+	// a delayed frame lands behind at most Delay successors.
+	e.ageHeldLocked(p2)
+	if fate.Drop {
+		p2.mu.Unlock()
+		l.count(func(s *Stats) { s.Dropped++ })
+		return
+	}
+	if fate.Delay > 0 {
+		p2.held = append(p2.held, held{frame: frame, remaining: fate.Delay})
+		l.count(func(s *Stats) { s.Reordered++ })
+	} else {
+		e.enqueueLocked(p2, frame)
+	}
+	for i := 0; i < fate.Duplicates; i++ {
+		e.enqueueLocked(p2, append([]byte(nil), frame...))
+		l.count(func(s *Stats) { s.Duplicated++ })
+	}
+	p2.mu.Unlock()
+}
+
+// ageHeldLocked decrements reorder holds and delivers the expired
+// ones. Callers hold p.mu.
+func (e *Endpoint) ageHeldLocked(p *pipe) {
+	kept := p.held[:0]
+	for _, h := range p.held {
+		h.remaining--
+		if h.remaining <= 0 {
+			e.enqueueLocked(p, h.frame)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	p.held = kept
+}
+
+// enqueueLocked pushes a frame into the receive queue, dropping on
+// overflow (bounded queue backpressure). Callers hold p.mu.
+func (e *Endpoint) enqueueLocked(p *pipe, frame []byte) {
+	select {
+	case p.ch <- frame:
+		e.link.count(func(s *Stats) { s.Delivered++ })
+	default:
+		e.link.count(func(s *Stats) { s.Overflow++ })
+	}
+}
+
+// flushHeld releases every holdback immediately: the direction has
+// drained, so "wait for later frames" can no longer complete and the
+// delayed frames simply arrive late.
+func (e *Endpoint) flushHeld() {
+	p := e.recvPipe
+	p.mu.Lock()
+	for _, h := range p.held {
+		e.enqueueLocked(p, h.frame)
+	}
+	p.held = nil
+	p.mu.Unlock()
+}
+
+// Recv waits up to timeout for the next valid frame on this end.
+// Corrupt frames are discarded (counted in Stats) without consuming
+// the timeout budget's purpose: the wait continues until a valid frame
+// or the deadline. When the queue idles past the deadline, any frames
+// still held back for reordering are flushed and collected — a delayed
+// frame is late, never lost.
+func (e *Endpoint) Recv(timeout time.Duration) (Packet, bool) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case frame := <-e.recvPipe.ch:
+			p, err := Unmarshal(frame)
+			if err != nil {
+				e.link.count(func(s *Stats) { s.RejectedCorrupt++ })
+				continue
+			}
+			return p, true
+		case <-deadline.C:
+			// Last chance: release holdbacks and drain what is
+			// already queued. Never re-enter the select here — the
+			// timer has fired and would never fire again.
+			e.flushHeld()
+			return e.TryRecv()
+		}
+	}
+}
+
+// TryRecv is Recv without waiting: it drains at most the frames
+// already queued.
+func (e *Endpoint) TryRecv() (Packet, bool) {
+	for {
+		select {
+		case frame := <-e.recvPipe.ch:
+			p, err := Unmarshal(frame)
+			if err != nil {
+				e.link.count(func(s *Stats) { s.RejectedCorrupt++ })
+				continue
+			}
+			return p, true
+		default:
+			return Packet{}, false
+		}
+	}
+}

@@ -176,6 +176,17 @@ const (
 	DPBoxCmdSetThreshold   = dpbox.CmdSetThreshold
 )
 
+// DPBoxPhase is the DP-Box FSM phase reported by (*DPBox).Phase.
+type DPBoxPhase = dpbox.Phase
+
+// DP-Box phases, re-exported so hosts can tell "busy" from "gone".
+const (
+	DPBoxPhaseInit    = dpbox.PhaseInit
+	DPBoxPhaseWaiting = dpbox.PhaseWaiting
+	DPBoxPhaseNoising = dpbox.PhaseNoising
+	DPBoxPhaseDead    = dpbox.PhaseDead
+)
+
 // Bank is a multi-sensor DP-Box: several sensor channels charging one
 // shared budget ledger, as Section IV requires when readings could be
 // combined.
