@@ -274,6 +274,45 @@ func BenchmarkDPBoxNoHooks(b *testing.B) { benchDPBoxFaultHooks(b, false) }
 // plane: the wrappers are live, the injectors nil.
 func BenchmarkDPBoxIdleFaultPlane(b *testing.B) { benchDPBoxFaultHooks(b, true) }
 
+// benchDPBoxObs is the telemetry-hook overhead guard: identical
+// transactions with the plane detached (nil Metrics — the production
+// default) and attached. The disabled path's contract is zero
+// allocations and within ~2% on time/op of BenchmarkDPBoxNoHooks.
+func benchDPBoxObs(b *testing.B, enabled bool) {
+	cfg := DPBoxConfig{}
+	if enabled {
+		cfg.Obs = NewDPBoxMetrics(NewObsRegistry(), 1)
+	}
+	box, err := NewDPBox(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := box.Initialize(1e12, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := box.Configure(1, 0, 32); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := box.NoiseValue(16); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := box.NoiseValue(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPBoxObsDisabled is the nil-plane noise hot path; CI pins
+// it at 0 allocs/op.
+func BenchmarkDPBoxObsDisabled(b *testing.B) { benchDPBoxObs(b, false) }
+
+// BenchmarkDPBoxObsEnabled has the full plane attached (counters,
+// odometer, trace ring) for comparison.
+func BenchmarkDPBoxObsEnabled(b *testing.B) { benchDPBoxObs(b, true) }
+
 // BenchmarkMSP430SoftNoise measures the emulated software noising
 // routine (thousands of emulated cycles per call).
 func BenchmarkMSP430SoftNoise(b *testing.B) {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dpboxsim [-budget N] [-replenish N] [-bu N] [-by N] [-mult F]
-//	         [-health N] [-stuck W] [-vcd FILE]
+//	         [-health N] [-stuck W] [-vcd FILE] [-metrics] [-debug ADDR]
 //
 // Then one command per line on stdin:
 //
@@ -15,7 +15,13 @@
 //	noise <x>           noise a sensor value (steps)
 //	run <x> <count>     noise x repeatedly, print a summary
 //	status              show phase, budget, threshold, cycles
+//	metrics             print the telemetry snapshot (needs -metrics)
 //	quit
+//
+// -metrics attaches the telemetry plane (privacy odometer, counters,
+// trace ring) and prints its final JSON snapshot when the session
+// ends. -debug additionally serves the plane on /debug/vars (expvar)
+// plus /debug/pprof at ADDR for the session's lifetime.
 //
 // The exit status reports the box's final state: 0 when the session
 // ends with a live, healthy box; 1 when it ends with the box dead
@@ -25,9 +31,12 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -39,6 +48,7 @@ import (
 type session struct {
 	box *ulpdp.DPBox
 	out *bufio.Writer
+	reg *ulpdp.ObsRegistry // nil without -metrics
 }
 
 func main() {
@@ -54,9 +64,25 @@ func run() int {
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the session to this file")
 	health := flag.Uint64("health", 0, "run the URNG health battery every N cycles (0 = off)")
 	stuck := flag.Int("stuck", -1, "inject a stuck-word URNG fault with this word (-1 = off)")
+	metrics := flag.Bool("metrics", false, "attach the telemetry plane and print its JSON snapshot on exit")
+	debugAddr := flag.String("debug", "", "serve /debug/vars (expvar) and /debug/pprof at this address; implies -metrics")
 	flag.Parse()
 
 	cfg := ulpdp.DPBoxConfig{Bu: *bu, By: *by, Mult: *mult, HealthEvery: *health}
+	var reg *ulpdp.ObsRegistry
+	if *metrics || *debugAddr != "" {
+		reg = ulpdp.NewObsRegistry()
+		cfg.Obs = ulpdp.NewDPBoxMetrics(reg, 1)
+	}
+	if *debugAddr != "" {
+		reg.PublishExpvar("ulpdp")
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dpboxsim: debug server:", err)
+			}
+		}()
+		fmt.Printf("dpboxsim: serving /debug/vars and /debug/pprof on %s\n", *debugAddr)
+	}
 	if *stuck >= 0 {
 		fp := fault.NewPlane()
 		fp.SetURNGFault(fault.StuckWord(uint32(*stuck)))
@@ -86,7 +112,7 @@ func run() int {
 	if err := box.Initialize(*budgetNats, *replenish); err != nil {
 		fatal(err)
 	}
-	s := &session{box: box, out: bufio.NewWriter(os.Stdout)}
+	s := &session{box: box, out: bufio.NewWriter(os.Stdout), reg: reg}
 	s.printf("DP-Box initialized: budget %.2f nats, replenish every %d cycles\n", *budgetNats, *replenish)
 	s.printf("configure with `eps <shift>` and `range <lo> <hi>`, then `noise <x>`\n")
 
@@ -113,6 +139,11 @@ func run() int {
 // exitCode inspects the box as the session ends: a dead or refusing
 // box turns into a non-zero exit so scripts and CI notice.
 func (s *session) exitCode() int {
+	if s.reg != nil {
+		if err := s.printSnapshot(); err != nil {
+			fmt.Fprintln(os.Stderr, "dpboxsim: snapshot:", err)
+		}
+	}
 	s.out.Flush()
 	switch {
 	case s.box.Phase() == ulpdp.DPBoxPhaseDead:
@@ -139,6 +170,11 @@ func (s *session) dispatch(fields []string) error {
 	case "status":
 		s.printf("phase=%v budget=%.3f nats threshold=%d steps eps=%g cycles=%d\n",
 			box.Phase(), box.BudgetRemaining(), box.Threshold(), box.Epsilon(), box.Cycles())
+	case "metrics":
+		if s.reg == nil {
+			return errors.New("telemetry plane not attached (run with -metrics)")
+		}
+		return s.printSnapshot()
 	case "eps":
 		shift, err := argInt(fields, 1)
 		if err != nil {
@@ -208,6 +244,22 @@ func (s *session) dispatch(fields []string) error {
 			box.BudgetRemaining())
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])
+	}
+	return nil
+}
+
+// printSnapshot dumps the registry as indented JSON plus a one-line
+// odometer readout.
+func (s *session) printSnapshot() error {
+	snap := s.reg.Snapshot()
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	s.printf("%s\n", raw)
+	if odo, ok := snap.Odometers["budget.odometer"]; ok {
+		s.printf("odometer: %.6f nats spent in %d charges, %d replenishes\n",
+			odo.TotalNats, odo.Charges, odo.Replenishes)
 	}
 	return nil
 }

@@ -10,19 +10,29 @@
 //
 //	fleetsim [-quick] [-nodes N] [-reports N] [-seed N]
 //	         [-drop P] [-dup P] [-reorder P] [-corrupt P] [-maxdelay N]
-//	         [-crash-every N] [-v]
+//	         [-crash-every N] [-metrics] [-debug ADDR] [-v]
 //
 // -quick is the CI smoke preset: a small fleet under a filthy link
 // with crash-recovery every second report.
+//
+// -metrics attaches the telemetry plane to the chaos run — the
+// privacy odometer is then asserted live against the certified n·ε
+// envelope — and prints the final JSON snapshot to stdout. -debug
+// additionally serves the registry on /debug/vars plus net/http/pprof
+// at ADDR, and keeps the process alive after the run for inspection.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"ulpdp/internal/fault"
 	"ulpdp/internal/fleet"
+	"ulpdp/internal/obs"
 )
 
 func main() {
@@ -40,6 +50,8 @@ func run() int {
 	corrupt := flag.Float64("corrupt", 0.05, "per-frame corruption probability")
 	maxDelay := flag.Int("maxdelay", 3, "max reorder holdback in frames")
 	crashEvery := flag.Int("crash-every", 0, "crash-recover each node after every k-th report (0 = never)")
+	metrics := flag.Bool("metrics", false, "attach the telemetry plane to the chaos run and print its JSON snapshot")
+	debugAddr := flag.String("debug", "", "serve /debug/vars (expvar) and /debug/pprof at this address; implies -metrics and blocks after the run")
 	verbose := flag.Bool("v", false, "print per-node detail")
 	flag.Parse()
 
@@ -59,6 +71,21 @@ func run() int {
 		},
 	}
 
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+	}
+	if *debugAddr != "" {
+		reg.PublishExpvar("ulpdp")
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fleetsim: debug server:", err)
+			}
+		}()
+		fmt.Printf("fleetsim: serving /debug/vars and /debug/pprof on %s\n", *debugAddr)
+	}
+
 	fmt.Printf("fleetsim: %d nodes x %d reports, seed %d, link{drop %.2f dup %.2f reorder %.2f corrupt %.2f delay<=%d}, crash-every %d\n",
 		cfg.Nodes, cfg.Reports, cfg.Seed, cfg.Link.Drop, cfg.Link.Duplicate,
 		cfg.Link.Reorder, cfg.Link.Corrupt, cfg.Link.MaxDelay, cfg.CrashEvery)
@@ -72,6 +99,9 @@ func run() int {
 
 	lossless := cfg
 	lossless.Link = fault.LinkProfile{}
+	// The baseline gets no plane: reusing the chaos run's registry
+	// would double-charge the odometer channels.
+	lossless.Obs = nil
 	baseline, err := fleet.Run(lossless)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim: lossless baseline:", err)
@@ -92,11 +122,27 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "fleetsim: invariant 2:", v)
 		bad++
 	}
+	if chaos.Obs != nil {
+		raw, jerr := json.MarshalIndent(chaos.Obs, "", "  ")
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim: snapshot:", jerr)
+			return 1
+		}
+		fmt.Println(string(raw))
+		if odo, ok := chaos.Obs.Odometers["budget.odometer"]; ok {
+			fmt.Printf("fleetsim: odometer: %.6f nats spent across %d channels in %d charges\n",
+				odo.TotalNats, len(odo.ChannelMicroNats), odo.Charges)
+		}
+	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "fleetsim: FAIL: %d violation(s)\n", bad)
 		return 1
 	}
 	fmt.Println("fleetsim: OK — exactly-once accounting held and the chaos run converged to the lossless baseline bit-exactly")
+	if *debugAddr != "" {
+		fmt.Println("fleetsim: run complete; debug server still up (Ctrl-C to exit)")
+		select {}
+	}
 	return 0
 }
 

@@ -63,4 +63,27 @@ func main() {
 		sum += mech.Noise(36.6).Value
 	}
 	fmt.Printf("mean of %d noised readings of 36.6 °C: %.2f °C\n", users, sum/users)
+
+	// The telemetry plane: attach a registry to a cycle-level DP-Box
+	// and the privacy odometer tracks cumulative ε spend live (a nil
+	// plane costs nothing — see BenchmarkDPBoxObsDisabled).
+	reg := ulpdp.NewObsRegistry()
+	box, err := ulpdp.NewDPBox(ulpdp.DPBoxConfig{Obs: ulpdp.NewDPBoxMetrics(reg, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := box.Initialize(4, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := box.Configure(1, 0, 16); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := box.NoiseValue(8); err != nil {
+			log.Fatal(err)
+		}
+	}
+	odo := reg.Snapshot().Odometers["budget.odometer"]
+	fmt.Printf("privacy odometer: %.4f nats spent in %d charges; ledger agrees: %.4f of 4 nats left\n",
+		odo.TotalNats, odo.Charges, box.BudgetRemaining())
 }

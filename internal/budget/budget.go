@@ -18,6 +18,7 @@ import (
 
 	"ulpdp/internal/core"
 	"ulpdp/internal/laplace"
+	"ulpdp/internal/obs"
 	"ulpdp/internal/urng"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 	Log laplace.LogUnit
 	// Source supplies uniform randomness (nil = Taus88 seeded with 1).
 	Source urng.Source
+	// Obs is an optional telemetry plane; nil costs one nil check per
+	// request and nothing else.
+	Obs *Metrics
+	// ObsChannel indexes the privacy odometer for this controller.
+	ObsChannel int
 }
 
 // ErrExhausted is returned when the budget is spent and no cached
@@ -197,9 +203,16 @@ func (c *Controller) InteriorCharge() float64 { return c.interior }
 // ChargeFor returns the privacy loss Algorithm 1 charges for a noised
 // output at step y (before any clamping).
 func (c *Controller) ChargeFor(y int64) float64 {
+	charge, _ := c.chargeBandFor(y)
+	return charge
+}
+
+// chargeBandFor returns the charge plus its band index (0 interior,
+// 1..n segment bands, n+1 top) for the telemetry plane.
+func (c *Controller) chargeBandFor(y int64) (float64, int64) {
 	lo, hi := c.par.LoSteps(), c.par.HiSteps()
 	if y >= lo && y <= hi {
-		return c.interior
+		return c.interior, 0
 	}
 	var offset int64
 	if y > hi {
@@ -207,16 +220,16 @@ func (c *Controller) ChargeFor(y int64) float64 {
 	} else {
 		offset = lo - y
 	}
-	for _, s := range c.segs {
+	for i, s := range c.segs {
 		if offset <= s.Offset {
 			charge := s.Mult*c.par.Eps + c.zSlack
 			if charge > c.topCharge {
-				return c.topCharge
+				charge = c.topCharge
 			}
-			return charge
+			return charge, int64(i) + 1
 		}
 	}
-	return c.topCharge
+	return c.topCharge, int64(len(c.segs)) + 1
 }
 
 // Tick advances the controller's notion of time by n ticks,
@@ -229,6 +242,10 @@ func (c *Controller) Tick(n uint64) {
 	for c.ticks >= c.cfg.ReplenishPeriod {
 		c.ticks -= c.cfg.ReplenishPeriod
 		c.remaining = c.cfg.Budget
+		if m := c.cfg.Obs; m != nil {
+			m.Replenishes.Inc()
+			m.Odometer.Replenish()
+		}
 	}
 }
 
@@ -239,6 +256,10 @@ func (c *Controller) Request(x float64) (Response, error) {
 	if c.remaining <= 0 {
 		if !c.cached {
 			return Response{}, ErrExhausted
+		}
+		if m := c.cfg.Obs; m != nil {
+			m.Requests.Inc()
+			m.CacheReplays.Inc()
 		}
 		return Response{Value: c.cache, FromCache: true}, nil
 	}
@@ -268,9 +289,18 @@ func (c *Controller) Request(x float64) (Response, error) {
 			y = hi
 		}
 	}
-	charge := c.ChargeFor(y)
+	charge, band := c.chargeBandFor(y)
 	c.remaining = math.Max(0, c.remaining-charge)
 	v := c.par.StepValue(y)
 	c.cache, c.cached = v, true
+	if m := c.cfg.Obs; m != nil {
+		m.Requests.Inc()
+		if resamples > 0 {
+			m.Resamples.Add(uint64(resamples))
+		}
+		m.Odometer.Charge(c.cfg.ObsChannel, charge)
+		m.ChargeMicroNat.Observe(obs.MicroNats(charge))
+		m.ChargeBands.Observe(band)
+	}
 	return Response{Value: v, Charged: charge, Resamples: resamples}, nil
 }

@@ -1,0 +1,37 @@
+package budget
+
+import "ulpdp/internal/obs"
+
+// Metrics is the software budget controller's slice of the telemetry
+// plane. The odometer, band histogram and replenish counter
+// intentionally share their names with the DP-Box budget plane
+// (dpbox.NewMetrics): a process running both accumulates one unified
+// privacy-accounting surface, provided the odometer channel count
+// agrees. The request counters and the nat-denominated charge
+// histogram are the controller's own — the hardware plane charges in
+// sixteenth-nat units, the software controller in real nats, and the
+// two scales must not share a histogram.
+type Metrics struct {
+	Requests       *obs.Counter
+	CacheReplays   *obs.Counter
+	Resamples      *obs.Counter
+	Odometer       *obs.Odometer
+	ChargeMicroNat *obs.Histogram // per-request charge in µnats
+	ChargeBands    *obs.Histogram // 0 interior, 1..n segments, n+1 top
+	Replenishes    *obs.Counter
+}
+
+// NewMetrics registers (or re-binds) the controller's metric schema.
+// channels sizes the shared privacy odometer; every plane bound to the
+// same registry must agree on it.
+func NewMetrics(r *obs.Registry, channels int) *Metrics {
+	return &Metrics{
+		Requests:       r.Counter("budget.requests"),
+		CacheReplays:   r.Counter("budget.cache_replays"),
+		Resamples:      r.Counter("budget.resamples"),
+		Odometer:       r.Odometer("budget.odometer", channels),
+		ChargeMicroNat: r.Histogram("budget.charge_micro_nats", []int64{1_000, 10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_000_000}),
+		ChargeBands:    r.Histogram("budget.charge_bands", []int64{0, 1, 2, 3, 4, 5, 6, 7}),
+		Replenishes:    r.Counter("budget.replenishes"),
+	}
+}

@@ -70,6 +70,9 @@ type Config struct {
 	// OpenTicks is how many receive timeouts an open breaker waits
 	// before half-opening to probe (default 4).
 	OpenTicks int
+	// Obs is an optional telemetry plane. Nil costs one nil check per
+	// event.
+	Obs *Metrics
 
 	// procDelay stalls the processor per report; tests use it to
 	// force ingest-queue backpressure deterministically.
@@ -230,11 +233,17 @@ func (c *Collector) receive(id transport.NodeID, end *transport.Endpoint) {
 		}
 		select {
 		case c.ingest <- item{node: id, pkt: pkt}:
+			if m := c.cfg.Obs; m != nil {
+				m.QueueDepth.Set(int64(len(c.ingest)))
+			}
 		default:
 			// Queue full: shed without ACK. The node retries, and by
 			// then the queue has drained — backpressure is just
 			// self-inflicted packet loss.
 			c.count(func(s *Stats) { s.Backpressure++ })
+			if m := c.cfg.Obs; m != nil {
+				m.Backpressure.Inc()
+			}
 		}
 	}
 }
@@ -247,6 +256,9 @@ func (c *Collector) process() {
 		case <-c.stop:
 			return
 		case it := <-c.ingest:
+			if m := c.cfg.Obs; m != nil {
+				m.QueueDepth.Set(int64(len(c.ingest)))
+			}
 			if c.cfg.procDelay > 0 {
 				time.Sleep(c.cfg.procDelay)
 			}
@@ -265,12 +277,16 @@ func (c *Collector) handle(it item) {
 	}
 	unhealthy := it.pkt.Flags&transport.FlagUnhealthy != 0
 
+	m := c.cfg.Obs
 	switch ns.breaker {
 	case BreakerOpen:
 		// Cooling off: traffic is discarded unACKed; the node's
 		// retries will land once the breaker half-opens.
 		c.stats.BreakerDrops++
 		c.mu.Unlock()
+		if m != nil {
+			m.BreakerDrops.Inc()
+		}
 		return
 	case BreakerHalfOpen:
 		if unhealthy {
@@ -279,10 +295,15 @@ func (c *Collector) handle(it item) {
 			ns.openLeft = c.cfg.OpenTicks
 			c.stats.BreakerDrops++
 			c.mu.Unlock()
+			if m != nil {
+				m.BreakerDrops.Inc()
+				m.transition(int64(it.node), BreakerHalfOpen, BreakerOpen)
+			}
 			return
 		}
 		ns.breaker = BreakerClosed
 		ns.consecFail = 0
+		m.transition(int64(it.node), BreakerHalfOpen, BreakerClosed)
 	case BreakerClosed:
 		if unhealthy {
 			ns.consecFail++
@@ -291,6 +312,10 @@ func (c *Collector) handle(it item) {
 				ns.openLeft = c.cfg.OpenTicks
 				c.stats.BreakerDrops++
 				c.mu.Unlock()
+				if m != nil {
+					m.BreakerDrops.Inc()
+					m.transition(int64(it.node), BreakerClosed, BreakerOpen)
+				}
 				return
 			}
 		} else {
@@ -300,10 +325,16 @@ func (c *Collector) handle(it item) {
 
 	if _, seen := ns.values[it.pkt.Seq]; seen {
 		c.stats.Duplicates++
+		if m != nil {
+			m.Duplicates.Inc()
+		}
 	} else {
 		ns.values[it.pkt.Seq] = it.pkt.Value
 		ns.flags[it.pkt.Seq] = it.pkt.Flags
 		c.stats.Accepted++
+		if m != nil {
+			m.Accepted.Inc()
+		}
 	}
 	if !ns.haveAck || it.pkt.Seq >= ns.lastSeq {
 		ns.haveAck = true
@@ -324,6 +355,10 @@ func (c *Collector) noteTimeout(id transport.NodeID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Timeouts++
+	m := c.cfg.Obs
+	if m != nil {
+		m.Timeouts.Inc()
+	}
 	ns := c.nodes[id]
 	if ns == nil {
 		return
@@ -334,11 +369,13 @@ func (c *Collector) noteTimeout(id transport.NodeID) {
 		if ns.consecFail >= c.cfg.BreakerThreshold {
 			ns.breaker = BreakerOpen
 			ns.openLeft = c.cfg.OpenTicks
+			m.transition(int64(id), BreakerClosed, BreakerOpen)
 		}
 	case BreakerOpen:
 		ns.openLeft--
 		if ns.openLeft <= 0 {
 			ns.breaker = BreakerHalfOpen
+			m.transition(int64(id), BreakerOpen, BreakerHalfOpen)
 		}
 	case BreakerHalfOpen:
 		// Still silent; keep waiting for the probe.

@@ -1,0 +1,66 @@
+package collector
+
+import "ulpdp/internal/obs"
+
+// EvBreaker is the trace event for a circuit-breaker transition:
+// Node = the node id, A = state before, B = state after (BreakerState
+// values).
+const EvBreaker = "collector.breaker"
+
+// Metrics is the collector's slice of the telemetry plane. The
+// transition counters make the breaker's full lifecycle observable:
+// Opened counts closed→open trips, HalfOpened open→half-open
+// cooldown expiries, Closed half-open→closed recoveries, and
+// Reopened half-open→open failed probes.
+type Metrics struct {
+	Accepted     *obs.Counter
+	Duplicates   *obs.Counter
+	Backpressure *obs.Counter
+	BreakerDrops *obs.Counter
+	Timeouts     *obs.Counter
+
+	Opened     *obs.Counter
+	HalfOpened *obs.Counter
+	Closed     *obs.Counter
+	Reopened   *obs.Counter
+
+	QueueDepth *obs.Gauge
+	Trace      *obs.Trace
+}
+
+// NewMetrics registers (or re-binds) the collector metric schema.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Accepted:     r.Counter("collector.accepted"),
+		Duplicates:   r.Counter("collector.duplicates"),
+		Backpressure: r.Counter("collector.backpressure"),
+		BreakerDrops: r.Counter("collector.breaker_drops"),
+		Timeouts:     r.Counter("collector.timeouts"),
+
+		Opened:     r.Counter("collector.breaker.opened"),
+		HalfOpened: r.Counter("collector.breaker.half_opened"),
+		Closed:     r.Counter("collector.breaker.closed"),
+		Reopened:   r.Counter("collector.breaker.reopened"),
+
+		QueueDepth: r.Gauge("collector.queue_depth"),
+		Trace:      r.Trace("trace", 1024),
+	}
+}
+
+// transition records one breaker state change on the plane.
+func (m *Metrics) transition(node int64, from, to BreakerState) {
+	if m == nil {
+		return
+	}
+	switch {
+	case from == BreakerClosed && to == BreakerOpen:
+		m.Opened.Inc()
+	case from == BreakerOpen && to == BreakerHalfOpen:
+		m.HalfOpened.Inc()
+	case from == BreakerHalfOpen && to == BreakerClosed:
+		m.Closed.Inc()
+	case from == BreakerHalfOpen && to == BreakerOpen:
+		m.Reopened.Inc()
+	}
+	m.Trace.Emit(EvBreaker, 0, node, int64(from), int64(to))
+}

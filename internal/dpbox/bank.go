@@ -41,10 +41,13 @@ func NewBank(cfg Config, n int, seed uint64) (*Bank, error) {
 	if cfg.Faults != nil {
 		return nil, fmt.Errorf("dpbox: bank channels must not share a fault plane; inject per channel")
 	}
-	bank := &Bank{ledger: &budgetLedger{j: cfg.Journal}}
+	bank := &Bank{ledger: &budgetLedger{j: cfg.Journal, obs: cfg.Obs}}
 	for i := 0; i < n; i++ {
 		ci := cfg
 		ci.Source = urng.NewTaus88(seed + uint64(i)*0x9E3779B9 + 1)
+		// Each channel gets its own odometer channel so the shared
+		// registry decomposes the shared ledger's spend per sensor.
+		ci.ObsChannel = cfg.ObsChannel + i
 		box, err := New(ci)
 		if err != nil {
 			return nil, err

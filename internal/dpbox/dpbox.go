@@ -176,6 +176,14 @@ type Config struct {
 	// WatchdogDisabled turns off the resample watchdog (testing only;
 	// an adversarial URNG can then stall noising indefinitely).
 	WatchdogDisabled bool
+	// Obs is an optional telemetry plane (counters, histograms, the
+	// privacy odometer, the trace ring). Nil costs one nil check per
+	// hook site and zero allocations on the noising hot path.
+	Obs *Metrics
+	// ObsChannel labels this box's telemetry: it indexes the privacy
+	// odometer and tags trace events (a Bank channel index or a fleet
+	// node id). Ignored when Obs is nil.
+	ObsChannel int
 }
 
 // DefaultConfig mirrors the synthesized 20-bit DP-Box: a 17-bit
@@ -260,13 +268,31 @@ type DPBox struct {
 	seqArmed  bool   // the in-flight transaction carries a report seq
 	armedSeq  uint64 // that seq
 
+	// Telemetry plane (nil = disabled) and this box's odometer
+	// channel / trace label.
+	obs      *Metrics
+	obsCh    int
+	lastBand int64 // charge band of the last chargeUnitsFor call
+
+	// Per-cycle telemetry event wires, mirrored into the VCD trace as
+	// marker signals so waveform dumps line up with the trace ring.
+	// Reset at every clock edge; independent of obs so waveforms carry
+	// markers even without a Metrics attached.
+	evResample    int   // resample count this cycle (0 = none)
+	evCharge      bool  // a budget charge committed this cycle
+	evChargeUnits int64 // its size in sixteenth-nat units
+	evDegrade     bool  // the resample watchdog tripped this cycle
+
 	tracer Tracer
 }
 
 // New powers up a DP-Box in the initialization phase.
 func New(cfg Config) (*DPBox, error) {
 	if cfg.Bu == 0 && cfg.By == 0 {
-		cfg = DefaultConfig
+		// Default the geometry only: wholesale cfg = DefaultConfig
+		// would silently drop the caller's Source, Faults, Journal,
+		// and Obs wiring.
+		cfg.Bu, cfg.By = DefaultConfig.Bu, DefaultConfig.By
 	}
 	if cfg.Mult == 0 {
 		cfg.Mult = 2
@@ -301,8 +327,19 @@ func New(cfg Config) (*DPBox, error) {
 		cfg.Log = fp.WrapLog(cfg.Log)
 		cfg.Source = fp.WrapSource(cfg.Source)
 	}
+	if m := cfg.Obs; m != nil {
+		// Telemetry counting wrappers sit outside the fault wrappers,
+		// so they count logical datapath activations regardless of
+		// injected faults. Built once here; nil Obs never sees them.
+		if cfg.Log == nil {
+			cfg.Log = cordic.New(cordic.DefaultConfig)
+		}
+		cfg.Log = countingLog{log: cfg.Log, c: m.LogEvals}
+		cfg.Source = countingSource{src: cfg.Source, c: m.URNGDraws}
+	}
 	b := &DPBox{cfg: cfg, fp: cfg.Faults, phase: PhaseInit, thOverride: -1, dirty: true,
-		ledger: &budgetLedger{j: cfg.Journal}, ownTimer: true, healthy: true}
+		ledger: &budgetLedger{j: cfg.Journal, obs: cfg.Obs}, ownTimer: true, healthy: true,
+		obs: cfg.Obs, obsCh: cfg.ObsChannel}
 	return b, nil
 }
 
@@ -338,6 +375,7 @@ type budgetLedger struct {
 	since          uint64
 	locked         bool
 	j              *Journal // nil = volatile ledger (no crash consistency)
+	obs            *Metrics // nil = telemetry disabled
 }
 
 // tick advances the replenishment timer by one cycle. False means the
@@ -356,6 +394,16 @@ func (l *budgetLedger) tick() bool {
 		}
 		l.since = 0
 		l.units = l.initial
+		if m := l.obs; m != nil {
+			m.Replenishes.Inc()
+			m.Odometer.Replenish()
+			if l.j != nil {
+				m.JournalReplenishes.Inc()
+			}
+			// The ledger has no clock of its own; refill events from a
+			// shared (Bank) ledger carry cycle 0.
+			m.Trace.Emit(EvReplenish, 0, -1, l.initial, 0)
+		}
 	}
 	return true
 }
@@ -370,6 +418,10 @@ func (l *budgetLedger) charge(units int64) bool {
 	if l.j != nil && !l.j.appendCharge(units) {
 		return false
 	}
+	if m := l.obs; m != nil && l.j != nil {
+		m.JournalIntents.Inc()
+		m.JournalCommits.Inc()
+	}
 	l.deduct(units)
 	return true
 }
@@ -382,6 +434,10 @@ func (l *budgetLedger) chargeRelease(units int64, reportSeq uint64, rel Release)
 	defer l.mu.Unlock()
 	if l.j != nil && !l.j.appendChargeRelease(units, reportSeq, rel.Value, rel.flags()) {
 		return false
+	}
+	if m := l.obs; m != nil && l.j != nil {
+		m.JournalIntents.Inc()
+		m.JournalCommits.Inc()
 	}
 	l.deduct(units)
 	return true
@@ -572,6 +628,17 @@ func (b *DPBox) healthGate() bool {
 		b.healthAt = b.cycles
 		b.healthRes = res
 		b.healthy = err == nil && urng.Passed(res)
+		if m := b.obs; m != nil {
+			m.BatteryRuns.Inc()
+			z := worstZ(res)
+			m.BatteryWorstZ.Set(z)
+			pass := int64(1)
+			if !b.healthy {
+				pass = 0
+				m.BatteryFails.Inc()
+			}
+			m.Trace.Emit(EvBattery, b.cycles, int64(b.obsCh), pass, z)
+		}
 	}
 	return b.healthy
 }
@@ -750,6 +817,7 @@ func minI64(a, b int64) int64 {
 // charge in sixteenth-nat units, mirroring budget.Controller.
 func (b *DPBox) chargeUnitsFor(y int64) int64 {
 	if y >= b.rangeLower && y <= b.rangeUpper {
+		b.lastBand = 0
 		return b.interiorU
 	}
 	var offset int64
@@ -760,9 +828,11 @@ func (b *DPBox) chargeUnitsFor(y int64) int64 {
 	}
 	for i, s := range b.segs {
 		if offset <= s.Offset {
+			b.lastBand = int64(i) + 1
 			return b.segU[i]
 		}
 	}
+	b.lastBand = int64(len(b.segs)) + 1
 	return b.topU
 }
 
@@ -794,6 +864,9 @@ func (b *DPBox) Step() {
 // plane's power schedule and the replenishment timer.
 func (b *DPBox) tick() {
 	b.cycles++
+	// Telemetry event wires are combinational: they pulse for the
+	// cycle that produced them and clear at the next edge.
+	b.evResample, b.evCharge, b.evChargeUnits, b.evDegrade = 0, false, 0, false
 	if b.fp != nil && b.fp.Tick() {
 		b.powerFail()
 		return
@@ -807,11 +880,18 @@ func (b *DPBox) tick() {
 // stops accepting writes, and every port returns ErrPowerLost until
 // Recover.
 func (b *DPBox) powerFail() {
+	if b.phase == PhaseDead {
+		return
+	}
 	b.phase = PhaseDead
 	b.ready = false
 	b.haveK = false
 	if b.ledger.j != nil {
 		b.ledger.j.Kill()
+	}
+	if m := b.obs; m != nil {
+		m.PowerLosses.Inc()
+		m.Trace.Emit(EvPowerLoss, b.cycles, int64(b.obsCh), 0, 0)
 	}
 }
 
@@ -856,6 +936,11 @@ func (b *DPBox) noisingCycle() {
 		}
 		if y < lo || y > hi {
 			b.resamples++
+			b.evResample = b.resamples
+			if m := b.obs; m != nil {
+				m.Resamples.Inc()
+				m.Trace.Emit(EvResample, b.cycles, int64(b.obsCh), int64(b.resamples), 0)
+			}
 			if b.resampleCap > 0 && b.resamples >= b.resampleCap {
 				b.degrade(y)
 				return
@@ -897,6 +982,11 @@ func (b *DPBox) noisingCycle() {
 // cache.
 func (b *DPBox) degrade(y int64) {
 	b.degraded = true
+	b.evDegrade = true
+	if m := b.obs; m != nil {
+		m.Degraded.Inc()
+		m.Trace.Emit(EvDegrade, b.cycles, int64(b.obsCh), int64(b.resamples), 0)
+	}
 	if !b.degradeOK {
 		if b.haveCache {
 			b.finish(b.cache, 0, true)
@@ -909,6 +999,7 @@ func (b *DPBox) degrade(y int64) {
 	if b.degradeU > charge {
 		charge = b.degradeU
 	}
+	b.lastBand = int64(len(b.segs)) + 1 // degrade always pays the top band
 	lo := b.rangeLower - b.degradeTh
 	hi := b.rangeUpper + b.degradeTh
 	if y < lo {
@@ -969,6 +1060,22 @@ func (b *DPBox) finish(y, chargeU int64, fromCache bool) {
 	b.out = y
 	b.ready = true
 	b.phase = PhaseWaiting
+	if !fromCache {
+		b.evCharge, b.evChargeUnits = true, chargeU
+	}
+	if m := b.obs; m != nil {
+		m.Transactions.Inc()
+		m.ResamplesPerTxn.Observe(int64(b.resamples))
+		if fromCache {
+			m.CacheReplays.Inc()
+			m.Trace.Emit(EvCacheReplay, b.cycles, int64(b.obsCh), 0, y)
+		} else {
+			m.ChargeUnits.Observe(chargeU)
+			m.ChargeBands.Observe(b.lastBand)
+			m.Odometer.Charge(b.obsCh, float64(chargeU)*chargeUnit)
+			m.Trace.Emit(EvCharge, b.cycles, int64(b.obsCh), chargeU, y)
+		}
+	}
 }
 
 // recordRelease mirrors a durable release binding into the in-memory
@@ -1056,6 +1163,10 @@ func (b *DPBox) NoiseValue(x int64) (NoiseResult, error) {
 // privacy-free: the wire never carries two noisings of one reading.
 func (b *DPBox) NoiseValueSeq(seq uint64, x int64) (NoiseResult, error) {
 	if rel, ok := b.releases[seq]; ok {
+		if m := b.obs; m != nil {
+			m.SeqReplays.Inc()
+			m.Trace.Emit(EvSeqReplay, b.cycles, int64(b.obsCh), int64(seq), rel.Value)
+		}
 		return NoiseResult{
 			Value:     rel.Value,
 			Charged:   0,

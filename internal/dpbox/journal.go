@@ -424,5 +424,9 @@ func Recover(cfg Config, j *Journal) (*DPBox, error) {
 		b.recordRelease(seq, rel)
 	}
 	b.phase = PhaseWaiting
+	if m := b.obs; m != nil {
+		m.JournalRecovers.Inc()
+		m.Trace.Emit(EvRecover, 0, int64(b.obsCh), st.Units, int64(len(st.Releases)))
+	}
 	return b, nil
 }

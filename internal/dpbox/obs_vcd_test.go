@@ -1,0 +1,188 @@
+package dpbox
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ulpdp/internal/fault"
+	"ulpdp/internal/obs"
+)
+
+// vcdMarker is one decoded value change of a telemetry marker signal.
+type vcdMarker struct {
+	time  uint64
+	value uint64
+}
+
+// parseVCDMarkers decodes a VCD dump into per-signal change lists for
+// the named signals (time → new value, initial dump included).
+func parseVCDMarkers(t *testing.T, dump string, names ...string) map[string][]vcdMarker {
+	t.Helper()
+	idFor := map[string]string{} // id code → signal name
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	out := map[string][]vcdMarker{}
+	var now uint64
+	for _, line := range strings.Split(dump, "\n") {
+		switch {
+		case strings.HasPrefix(line, "$var "):
+			// $var wire <width> <id> <name> $end
+			f := strings.Fields(line)
+			if len(f) >= 5 && want[f[4]] {
+				idFor[f[3]] = f[4]
+			}
+		case strings.HasPrefix(line, "#"):
+			v, err := strconv.ParseUint(line[1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad VCD time line %q: %v", line, err)
+			}
+			now = v
+		case strings.HasPrefix(line, "b"):
+			// b<binary> <id>
+			f := strings.Fields(line)
+			if len(f) != 2 {
+				continue
+			}
+			if name, ok := idFor[f[1]]; ok {
+				v, err := strconv.ParseUint(f[0][1:], 2, 64)
+				if err != nil {
+					t.Fatalf("bad VCD vector line %q: %v", line, err)
+				}
+				out[name] = append(out[name], vcdMarker{now, v})
+			}
+		case len(line) >= 2 && (line[0] == '0' || line[0] == '1'):
+			if name, ok := idFor[line[1:]]; ok {
+				out[name] = append(out[name], vcdMarker{now, uint64(line[0] - '0')})
+			}
+		}
+	}
+	return out
+}
+
+// markerAt reports whether a change to value v exists at time c.
+func markerAt(ms []vcdMarker, c uint64, v uint64) bool {
+	for _, m := range ms {
+		if m.time == c && m.value == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestVCDMarkersAlignWithTraceRing is the marker-ordering regression:
+// every resample, charge, and degrade event in the obs trace ring must
+// appear as a VCD marker change at exactly the same cycle, and the
+// waveform must replay the ring's ordering — resamples strictly before
+// their transaction's charge, the degrade marker no later than the
+// degraded charge.
+func TestVCDMarkersAlignWithTraceRing(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg, 1)
+	cfg, fp := faultCfg(21)
+	cfg.Obs = m
+	b := bootResampling(t, cfg) // one honest transaction before tracing
+
+	var buf bytes.Buffer
+	tr, err := NewVCDTracer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetTracer(tr)
+	tracedFrom := b.Cycles()
+
+	// A few honest resampling transactions, then an adversarial one
+	// that trips the watchdog and degrades.
+	for i := 0; i < 3; i++ {
+		if _, err := b.NoiseValue(8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fp.SetURNGFault(fault.StuckWord(1))
+	r, err := b.NoiseValue(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Degraded {
+		t.Fatal("adversarial URNG did not degrade")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	marks := parseVCDMarkers(t, buf.String(),
+		"evt_resample", "evt_charge", "evt_charge_units", "evt_degrade")
+	for _, n := range []string{"evt_resample", "evt_charge", "evt_charge_units", "evt_degrade"} {
+		if len(marks[n]) == 0 {
+			t.Fatalf("waveform has no %s changes", n)
+		}
+	}
+
+	// unitsAt replays evt_charge_units up to cycle c (the signal only
+	// dumps changes, so the value at c is the latest change ≤ c).
+	unitsAt := func(c uint64) uint64 {
+		var v uint64
+		for _, m := range marks["evt_charge_units"] {
+			if m.time > c {
+				break
+			}
+			v = m.value
+		}
+		return v
+	}
+
+	var (
+		resamples, charges, degrades int
+		lastResample                 uint64
+		lastCharge                   uint64
+		degradeCycle                 uint64
+	)
+	for _, ev := range m.Trace.Events() {
+		// The boot transaction predates the waveform; its last event
+		// lands on cycle == tracedFrom (the clock increments on the
+		// next edge), so only strictly later cycles are on tape.
+		if ev.Cycle <= tracedFrom {
+			continue
+		}
+		switch ev.Kind {
+		case EvResample:
+			resamples++
+			lastResample = ev.Cycle
+			if !markerAt(marks["evt_resample"], ev.Cycle, uint64(ev.A)) {
+				t.Fatalf("ring resample #%d at cycle %d has no evt_resample=%d marker", ev.A, ev.Cycle, ev.A)
+			}
+		case EvCharge:
+			charges++
+			if !markerAt(marks["evt_charge"], ev.Cycle, 1) {
+				t.Fatalf("ring charge at cycle %d has no evt_charge pulse", ev.Cycle)
+			}
+			if got := unitsAt(ev.Cycle); got != uint64(ev.A) {
+				t.Fatalf("evt_charge_units = %d at cycle %d, ring charged %d", got, ev.Cycle, ev.A)
+			}
+			// Ordering: every resample of this transaction precedes
+			// its charge — except the watchdog trip, where the final
+			// miss, the degrade, and the charge share one cycle.
+			if resamples > 0 && lastResample >= ev.Cycle && degradeCycle != ev.Cycle {
+				t.Fatalf("resample marker at cycle %d not before charge at %d", lastResample, ev.Cycle)
+			}
+			lastCharge = ev.Cycle
+		case EvDegrade:
+			degrades++
+			degradeCycle = ev.Cycle
+			if !markerAt(marks["evt_degrade"], ev.Cycle, 1) {
+				t.Fatalf("ring degrade at cycle %d has no evt_degrade pulse", ev.Cycle)
+			}
+		}
+	}
+	if resamples == 0 || charges < 2 || degrades != 1 {
+		t.Fatalf("ring window saw %d resamples, %d charges, %d degrades; want >0, ≥2, 1",
+			resamples, charges, degrades)
+	}
+	// The degraded transaction still charges, at or after the trip.
+	if degradeCycle > lastCharge {
+		t.Fatalf("degrade marker at cycle %d after final charge at %d", degradeCycle, lastCharge)
+	}
+}

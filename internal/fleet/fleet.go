@@ -28,6 +28,7 @@ import (
 	"ulpdp/internal/dpbox"
 	"ulpdp/internal/fault"
 	"ulpdp/internal/node"
+	"ulpdp/internal/obs"
 	"ulpdp/internal/transport"
 	"ulpdp/internal/urng"
 )
@@ -55,6 +56,11 @@ type Config struct {
 	// (default 64: chaos stalls shouldn't wedge a healthy node, and
 	// if a breaker does trip, retries ride out the open window).
 	BreakerThreshold int
+	// Obs, when non-nil, threads one telemetry registry through every
+	// layer of the run: each node's DP-Box charges odometer channel i,
+	// and the run checks — live, after every report — that the fleet's
+	// cumulative spend stays under the certified n·ε envelope.
+	Obs *obs.Registry
 }
 
 // NodeResult is the per-node evidence the invariants are checked
@@ -87,6 +93,9 @@ type Result struct {
 	Link transport.Stats
 	// Violations lists every invariant-1 breach detected in-run.
 	Violations []string
+	// Obs is the final telemetry snapshot (nil unless Config.Obs was
+	// set).
+	Obs *obs.Snapshot
 }
 
 // splitmix64 derives independent sub-seeds from the master seed.
@@ -112,13 +121,24 @@ const (
 	seedJitter
 )
 
-// boxConfig is the fleet's common DP-Box shape.
-func boxConfig(urngSeed uint64, j *dpbox.Journal) dpbox.Config {
+// perReportCapNats is the certified worst-case charge of a single
+// report under the fleet's box shape: Configure(1, 0, 16) sets
+// ε = 2⁻¹ = 0.5 nat and Mult = 2 caps any one transaction (degraded
+// or not) at Mult·ε = 1 nat. After k reports a node's odometer can
+// therefore never exceed min(Budget, k·perReportCapNats).
+const perReportCapNats = 1.0
+
+// boxConfig is the fleet's common DP-Box shape. All nodes share one
+// metrics plane; node i charges odometer channel ch = i so the shared
+// registry still decomposes spend per node.
+func boxConfig(urngSeed uint64, j *dpbox.Journal, m *dpbox.Metrics, ch int) dpbox.Config {
 	return dpbox.Config{
 		Bu: 12, By: 10, Mult: 2,
 		Multipliers: []float64{1.25, 1.5},
 		Source:      urng.NewTaus88(urngSeed),
 		Journal:     j,
+		Obs:         m,
+		ObsChannel:  ch,
 	}
 }
 
@@ -146,14 +166,29 @@ func Run(cfg Config) (Result, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Deadline)
 	defer cancel()
 
-	col := collector.New(collector.Config{BreakerThreshold: cfg.BreakerThreshold})
+	// One telemetry plane per layer, all over the same registry. The
+	// box plane's odometer has one channel per node.
+	var (
+		boxM  *dpbox.Metrics
+		linkM *transport.Metrics
+		nodeM *node.Metrics
+		colM  *collector.Metrics
+	)
+	if cfg.Obs != nil {
+		boxM = dpbox.NewMetrics(cfg.Obs, cfg.Nodes)
+		linkM = transport.NewMetrics(cfg.Obs)
+		nodeM = node.NewMetrics(cfg.Obs)
+		colM = collector.NewMetrics(cfg.Obs)
+	}
+
+	col := collector.New(collector.Config{BreakerThreshold: cfg.BreakerThreshold, Obs: colM})
 	defer col.Close()
 
 	links := make([]*transport.Link, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		fp := fault.NewPlane()
 		fp.SetPacketFault(fault.LossyLink(subSeed(cfg.Seed, seedLink, i, 0), cfg.Link))
-		links[i] = transport.NewLink(transport.LinkConfig{Plane: fp})
+		links[i] = transport.NewLink(transport.LinkConfig{Plane: fp, Obs: linkM})
 		if err := col.Attach(transport.NodeID(i), links[i].CollectorEnd()); err != nil {
 			return Result{}, err
 		}
@@ -182,7 +217,7 @@ func Run(cfg Config) (Result, error) {
 			}()
 
 			j := dpbox.NewJournal()
-			box, err := dpbox.New(boxConfig(subSeed(cfg.Seed, seedURNG, i, 0), j))
+			box, err := dpbox.New(boxConfig(subSeed(cfg.Seed, seedURNG, i, 0), j, boxM, i))
 			if err != nil {
 				violate("node %d: %v", i, err)
 				return
@@ -199,6 +234,7 @@ func Run(cfg Config) (Result, error) {
 				ID:          transport.NodeID(i),
 				MaxAttempts: 64,
 				JitterSeed:  subSeed(cfg.Seed, seedJitter, i, 0),
+				Obs:         nodeM,
 			}
 			agent := node.NewReportAgent(box, links[i].NodeEnd(), agentCfg)
 
@@ -225,13 +261,24 @@ func Run(cfg Config) (Result, error) {
 				nr.ExpectedSpendNats += out.Charged
 				delivered := err == nil
 
+				// Live odometer bound: after r+1 reports, node i's
+				// cumulative spend must sit under the certified
+				// per-report envelope (crash replays and cache serves
+				// charge nothing, so the bound holds across chaos).
+				if boxM != nil {
+					certified := math.Min(cfg.Budget, float64(r+1)*perReportCapNats)
+					if spent := boxM.Odometer.SpentNats(i); spent > certified+1e-9 {
+						violate("node %d: odometer %g nats after %d reports exceeds certified %g", i, spent, r+1, certified)
+					}
+				}
+
 				// Deterministic crash schedule: after noising report
 				// r (delivered or not), so recovery sometimes lands
 				// mid-retry with an un-ACKed journaled release.
 				if cfg.CrashEvery > 0 && (r+1)%cfg.CrashEvery == 0 {
 					j.Kill()
 					nr.Crashes++
-					recovered, rerr := dpbox.Recover(boxConfig(subSeed(cfg.Seed, seedURNG, i, nr.Crashes), nil), j)
+					recovered, rerr := dpbox.Recover(boxConfig(subSeed(cfg.Seed, seedURNG, i, nr.Crashes), nil, boxM, i), j)
 					if rerr != nil {
 						violate("node %d crash %d: %v", i, nr.Crashes, rerr)
 						return
@@ -272,9 +319,28 @@ func Run(cfg Config) (Result, error) {
 			if live := int64(math.Round((cfg.Budget - nr.SpendNats) * 16)); st.Units != live {
 				violate("node %d: journal units %d != live units %d", i, st.Units, live)
 			}
+
+			// Odometer-vs-ledger cross-check: both sum the same
+			// charges (exact multiples of 1/16 nat), so they must
+			// agree to the micronat.
+			if boxM != nil {
+				if got, want := boxM.Odometer.SpentMicro(i), obs.MicroNats(nr.SpendNats); got != want {
+					violate("node %d: odometer %d µnat != ledger spend %d µnat", i, got, want)
+				}
+			}
 		}(i)
 	}
 	wg.Wait()
+
+	// Aggregate odometer bound: the whole fleet's spend must sit under
+	// n · min(Budget, Reports·cap) — the paper's Σ charges ≤ n·ε
+	// envelope, checked on the telemetry plane rather than the ledgers.
+	if boxM != nil {
+		fleetCap := float64(cfg.Nodes) * math.Min(cfg.Budget, float64(cfg.Reports)*perReportCapNats)
+		if tot := boxM.Odometer.TotalNats(); tot > fleetCap+1e-9 {
+			res.Violations = append(res.Violations, fmt.Sprintf("fleet: aggregate odometer %g nats exceeds certified n·ε bound %g", tot, fleetCap))
+		}
+	}
 
 	res.Aggregate = col.Aggregate()
 	res.Collector = col.Stats()
@@ -293,6 +359,10 @@ func Run(cfg Config) (Result, error) {
 		res.Nodes[i].Recorded = col.Values(transport.NodeID(i))
 	}
 	res.Violations = append(res.Violations, CheckExactlyOnce(cfg, res)...)
+	if cfg.Obs != nil {
+		snap := cfg.Obs.Snapshot()
+		res.Obs = &snap
+	}
 	return res, nil
 }
 

@@ -25,6 +25,9 @@ type AgentConfig struct {
 	BackoffCap time.Duration
 	// JitterSeed seeds the deterministic backoff jitter.
 	JitterSeed uint64
+	// Obs is an optional telemetry plane, usually shared across every
+	// agent of a fleet. Nil costs one nil check per report.
+	Obs *Metrics
 }
 
 // ReportOutcome describes one delivered (or abandoned) report.
@@ -129,11 +132,19 @@ func (a *ReportAgent) backoff(k int) time.Duration {
 // retransmits the identical value later.
 func (a *ReportAgent) Report(ctx context.Context, x int64) (ReportOutcome, error) {
 	seq := a.next
+	var noisedAt time.Time
+	if a.cfg.Obs != nil {
+		noisedAt = time.Now()
+	}
 	res, err := a.box.NoiseValueSeq(seq, x)
 	if err != nil {
 		return ReportOutcome{Seq: seq}, fmt.Errorf("node: noising seq %d: %w", seq, err)
 	}
 	a.next = seq + 1
+	if m := a.cfg.Obs; m != nil {
+		m.Reports.Inc()
+		m.Trace.Emit(EvNoised, a.box.Cycles(), int64(a.cfg.ID), int64(seq), res.Value)
+	}
 
 	out := ReportOutcome{
 		Seq:       seq,
@@ -145,6 +156,12 @@ func (a *ReportAgent) Report(ctx context.Context, x int64) (ReportOutcome, error
 	}
 	attempts, err := a.deliver(ctx, a.packet(seq, res.Value, res.Degraded, res.FromCache))
 	out.Attempts = attempts
+	if m := a.cfg.Obs; m != nil && err == nil {
+		// The (node, seq) span closes: noise drawn → ACK recorded.
+		lat := time.Since(noisedAt).Microseconds()
+		m.LatencyUs.Observe(lat)
+		m.Trace.Emit(EvAcked, a.box.Cycles(), int64(a.cfg.ID), int64(seq), lat)
+	}
 	return out, err
 }
 
@@ -160,6 +177,9 @@ func (a *ReportAgent) Resume(ctx context.Context) error {
 	rel, ok := a.box.ReleaseFor(seq)
 	if !ok {
 		return fmt.Errorf("node: no journaled release for seq %d", seq)
+	}
+	if m := a.cfg.Obs; m != nil {
+		m.Resumes.Inc()
 	}
 	_, err := a.deliver(ctx, a.packet(seq, rel.Value, rel.Degraded, rel.FromCache))
 	return err
@@ -188,6 +208,20 @@ func (a *ReportAgent) packet(seq uint64, value int64, degraded, fromCache bool) 
 // deliver retransmits pkt verbatim until an ACK for (node, seq)
 // arrives, attempts run out, or the context expires.
 func (a *ReportAgent) deliver(ctx context.Context, pkt transport.Packet) (int, error) {
+	attempts, err := a.deliverLoop(ctx, pkt)
+	if m := a.cfg.Obs; m != nil {
+		if attempts > 1 {
+			m.Retransmits.Add(uint64(attempts - 1))
+		}
+		if err != nil {
+			m.Abandoned.Inc()
+			m.Trace.Emit(EvAbandoned, a.box.Cycles(), int64(a.cfg.ID), int64(pkt.Seq), int64(attempts))
+		}
+	}
+	return attempts, err
+}
+
+func (a *ReportAgent) deliverLoop(ctx context.Context, pkt transport.Packet) (int, error) {
 	for attempt := 1; attempt <= a.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return attempt - 1, fmt.Errorf("node: delivering seq %d: %w", pkt.Seq, err)
@@ -197,7 +231,11 @@ func (a *ReportAgent) deliver(ctx context.Context, pkt transport.Packet) (int, e
 			return attempt, nil
 		}
 		if attempt < a.cfg.MaxAttempts {
-			if !sleepCtx(ctx, a.backoff(attempt)) {
+			pause := a.backoff(attempt)
+			if m := a.cfg.Obs; m != nil {
+				m.BackoffNs.Add(uint64(pause))
+			}
+			if !sleepCtx(ctx, pause) {
 				return attempt, fmt.Errorf("node: delivering seq %d: %w", pkt.Seq, ctx.Err())
 			}
 		}

@@ -1,0 +1,519 @@
+// Package obs is the telemetry plane: atomic counters, fixed-bucket
+// histograms, a ring-buffer event tracer, and a privacy odometer,
+// collected in a process-wide Registry snapshotable to JSON and
+// expvar.
+//
+// The package follows the same zero-cost-when-nil hook discipline as
+// internal/fault: a component holds a pointer to its (pre-registered)
+// metrics struct, and every hook site is
+//
+//	if m := c.obs; m != nil { m.Something.Inc() }
+//
+// so a disabled plane costs one pointer load and a nil compare on the
+// hot path and allocates nothing. An enabled plane costs atomic
+// adds on pre-allocated instruments — no allocation either, so
+// telemetry can stay on in production without touching the noise
+// path's allocation profile (the Benchmark gate in bench_test.go pins
+// both claims).
+//
+// Instruments are registered by name; registration is idempotent
+// (asking for an existing name returns the existing instrument), which
+// lets many components — every link of a fleet, every channel of a
+// bank — share one instrument by agreeing on its name. Registering
+// the same name as two different instrument kinds, or with conflicting
+// shape (histogram bounds, odometer channels), panics: that is a
+// wiring error, caught at configuration time like a mis-declared VCD
+// signal (DESIGN.md §6).
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram over int64 observations. The
+// bounds are inclusive upper bucket edges; one extra overflow bucket
+// catches everything above the last bound. Buckets are atomic, so
+// concurrent Observe calls never lock, and the bucket count is fixed
+// at registration, so Observe never allocates.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64
+	sum    atomic.Int64
+	n      atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// snapshot copies the histogram state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.n.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// odoUnit is the odometer's fixed-point resolution: one micronat.
+// The DP-Box's sixteenth-nat charge unit is an exact multiple
+// (62500 µnat), so hardware charges accumulate without rounding; the
+// software budget controller's real-valued charges round to the
+// nearest micronat (documented loss well below any ε of interest).
+const odoUnit = 1e-6
+
+// Odometer is the privacy odometer: cumulative privacy loss charged
+// per channel, in micronats, monotone by construction — an odometer
+// never rolls back, even when the budget it mirrors is replenished
+// (replenish events are counted separately). It is the operator-facing
+// dual of the budget ledger: the ledger says what may still be spent,
+// the odometer proves what was spent.
+type Odometer struct {
+	channels []atomic.Int64 // spent µnats per channel
+	total    atomic.Int64
+	charges  atomic.Uint64
+	repl     atomic.Uint64
+}
+
+// MicroNats converts nats to the odometer's integer resolution.
+func MicroNats(nats float64) int64 { return int64(math.Round(nats / odoUnit)) }
+
+// Charge records a privacy charge of the given size against a channel
+// (clamped into the registered channel range).
+func (o *Odometer) Charge(ch int, nats float64) {
+	if ch < 0 {
+		ch = 0
+	}
+	if ch >= len(o.channels) {
+		ch = len(o.channels) - 1
+	}
+	u := MicroNats(nats)
+	o.channels[ch].Add(u)
+	o.total.Add(u)
+	o.charges.Add(1)
+}
+
+// Replenish counts one budget refill event. The cumulative spend is
+// untouched: replenishment restores the ledger, not history.
+func (o *Odometer) Replenish() { o.repl.Add(1) }
+
+// Channels returns the registered channel count.
+func (o *Odometer) Channels() int { return len(o.channels) }
+
+// SpentMicro returns a channel's cumulative spend in micronats.
+func (o *Odometer) SpentMicro(ch int) int64 {
+	if ch < 0 || ch >= len(o.channels) {
+		return 0
+	}
+	return o.channels[ch].Load()
+}
+
+// SpentNats returns a channel's cumulative spend in nats.
+func (o *Odometer) SpentNats(ch int) float64 {
+	return float64(o.SpentMicro(ch)) * odoUnit
+}
+
+// TotalMicro returns the cumulative spend across all channels in
+// micronats.
+func (o *Odometer) TotalMicro() int64 { return o.total.Load() }
+
+// TotalNats returns the cumulative spend across all channels in nats.
+func (o *Odometer) TotalNats() float64 { return float64(o.total.Load()) * odoUnit }
+
+// Charges returns the number of charge events recorded.
+func (o *Odometer) Charges() uint64 { return o.charges.Load() }
+
+// Replenishes returns the number of refill events recorded.
+func (o *Odometer) Replenishes() uint64 { return o.repl.Load() }
+
+func (o *Odometer) snapshot() OdometerSnapshot {
+	s := OdometerSnapshot{
+		ChannelMicroNats: make([]int64, len(o.channels)),
+		TotalMicroNats:   o.total.Load(),
+		Charges:          o.charges.Load(),
+		Replenishes:      o.repl.Load(),
+	}
+	for i := range o.channels {
+		s.ChannelMicroNats[i] = o.channels[i].Load()
+	}
+	s.TotalNats = float64(s.TotalMicroNats) * odoUnit
+	return s
+}
+
+// Event is one entry in a trace ring: a named occurrence with its
+// emitter's clock and three small operands whose meaning is
+// per-kind (documented in docs/observability.md).
+type Event struct {
+	// Seq is the event's global position in the ring's history
+	// (monotone even after the ring wraps).
+	Seq uint64 `json:"seq"`
+	// Cycle is the emitter's clock at emission (device cycles for
+	// DP-Box events, 0 where the emitter has no cycle counter).
+	Cycle uint64 `json:"cycle"`
+	// Kind names the event (a package-level constant string, so
+	// emission does not allocate).
+	Kind string `json:"kind"`
+	// Node identifies the channel/node the event belongs to (-1 when
+	// not applicable).
+	Node int64 `json:"node"`
+	// A and B are per-kind operands (a charge in budget units, a
+	// sequence number, a latency, ...).
+	A int64 `json:"a"`
+	B int64 `json:"b"`
+}
+
+// Trace is a fixed-capacity ring buffer of events: the most recent
+// capacity events survive, older ones are overwritten. Emission is a
+// mutex-guarded copy into a preallocated slot — no allocation, and
+// cheap enough to leave on in production.
+type Trace struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever emitted
+}
+
+// Emit appends one event to the ring.
+func (t *Trace) Emit(kind string, cycle uint64, node, a, b int64) {
+	t.mu.Lock()
+	i := t.next % uint64(len(t.buf))
+	t.buf[i] = Event{Seq: t.next, Cycle: cycle, Kind: kind, Node: node, A: a, B: b}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Emitted returns the total number of events ever emitted.
+func (t *Trace) Emitted() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Events returns the surviving events, oldest first.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	cap64 := uint64(len(t.buf))
+	count := n
+	if count > cap64 {
+		count = cap64
+	}
+	out := make([]Event, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, t.buf[i%cap64])
+	}
+	return out
+}
+
+func (t *Trace) snapshot() TraceSnapshot {
+	return TraceSnapshot{Emitted: t.Emitted(), Events: t.Events()}
+}
+
+// Registry is the process-wide instrument namespace. All methods are
+// safe for concurrent use; instrument registration is idempotent by
+// (name, kind, shape).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	odos     map[string]*Odometer
+	traces   map[string]*Trace
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		odos:     make(map[string]*Odometer),
+		traces:   make(map[string]*Trace),
+	}
+}
+
+// checkFresh panics if name is already registered as another kind.
+func (r *Registry) checkFresh(name, kind string) {
+	for k, taken := range map[string]bool{
+		"counter":   r.counters[name] != nil,
+		"gauge":     r.gauges[name] != nil,
+		"histogram": r.hists[name] != nil,
+		"odometer":  r.odos[name] != nil,
+		"trace":     r.traces[name] != nil,
+	} {
+		if taken && k != kind {
+			panic(fmt.Sprintf("obs: metric %q already registered as a %s, requested as a %s", name, k, kind))
+		}
+	}
+}
+
+// Counter returns (registering if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	r.checkFresh(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (registering if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	r.checkFresh(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (registering if needed) the named histogram with
+// the given ascending inclusive upper bucket bounds. Re-registration
+// with different bounds panics.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[name]; h != nil {
+		if len(h.bounds) != len(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+		}
+		for i := range bounds {
+			if h.bounds[i] != bounds[i] {
+				panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+			}
+		}
+		return h
+	}
+	r.checkFresh(name, "histogram")
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Odometer returns (registering if needed) the named odometer with the
+// given channel count. Re-registration with a different channel count
+// panics.
+func (r *Registry) Odometer(name string, channels int) *Odometer {
+	if channels < 1 {
+		channels = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if o := r.odos[name]; o != nil {
+		if len(o.channels) != channels {
+			panic(fmt.Sprintf("obs: odometer %q re-registered with %d channels, have %d", name, channels, len(o.channels)))
+		}
+		return o
+	}
+	r.checkFresh(name, "odometer")
+	o := &Odometer{channels: make([]atomic.Int64, channels)}
+	r.odos[name] = o
+	return o
+}
+
+// Trace returns (registering if needed) the named trace ring with the
+// given capacity (minimum 16; the first registration wins the
+// capacity, later ones reuse the ring).
+func (r *Registry) Trace(name string, capacity int) *Trace {
+	if capacity < 16 {
+		capacity = 16
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.traces[name]; t != nil {
+		return t
+	}
+	r.checkFresh(name, "trace")
+	t := &Trace{buf: make([]Event, capacity)}
+	r.traces[name] = t
+	return t
+}
+
+// Names returns every registered metric name, sorted — the schema the
+// golden test pins.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0,
+		len(r.counters)+len(r.gauges)+len(r.hists)+len(r.odos)+len(r.traces))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.odos {
+		names = append(names, n)
+	}
+	for n := range r.traces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bucket edges.
+	Bounds []int64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; the last is the overflow
+	// bucket.
+	Counts []uint64 `json:"counts"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// Sum is the sum of all observed values.
+	Sum int64 `json:"sum"`
+}
+
+// OdometerSnapshot is one odometer's frozen state.
+type OdometerSnapshot struct {
+	// ChannelMicroNats is the cumulative spend per channel, µnats.
+	ChannelMicroNats []int64 `json:"channel_micro_nats"`
+	// TotalMicroNats is the cumulative spend across channels, µnats.
+	TotalMicroNats int64 `json:"total_micro_nats"`
+	// TotalNats is TotalMicroNats in nats, for human eyes.
+	TotalNats float64 `json:"total_nats"`
+	// Charges counts charge events.
+	Charges uint64 `json:"charges"`
+	// Replenishes counts budget refill events.
+	Replenishes uint64 `json:"replenishes"`
+}
+
+// TraceSnapshot is one trace ring's frozen state.
+type TraceSnapshot struct {
+	// Emitted is the total number of events ever emitted.
+	Emitted uint64 `json:"emitted"`
+	// Events are the surviving events, oldest first.
+	Events []Event `json:"events"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+// Counters and gauges are plain values; maps marshal with sorted keys,
+// so the JSON form is deterministic given deterministic values.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Odometers  map[string]OdometerSnapshot  `json:"odometers,omitempty"`
+	Traces     map[string]TraceSnapshot     `json:"traces,omitempty"`
+}
+
+// Snapshot freezes the registry. Instruments keep counting afterwards;
+// the snapshot is a copy.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Counters: make(map[string]uint64, len(r.counters))}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			s.Histograms[n] = h.snapshot()
+		}
+	}
+	if len(r.odos) > 0 {
+		s.Odometers = make(map[string]OdometerSnapshot, len(r.odos))
+		for n, o := range r.odos {
+			s.Odometers[n] = o.snapshot()
+		}
+	}
+	if len(r.traces) > 0 {
+		s.Traces = make(map[string]TraceSnapshot, len(r.traces))
+		for n, t := range r.traces {
+			s.Traces[n] = t.snapshot()
+		}
+	}
+	return s
+}
+
+// MarshalJSON renders a snapshot of the registry.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// PublishExpvar exposes the registry under the given expvar name
+// (visible on /debug/vars when an HTTP server runs). Publishing the
+// same name twice is a no-op rather than the expvar panic, so
+// simulators can wire it unconditionally.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

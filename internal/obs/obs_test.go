@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInstruments hammers every instrument kind from many
+// goroutines; run under -race this is the plane's concurrency gate.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []int64{1, 2, 4, 8})
+	o := r.Odometer("o", 4)
+	tr := r.Trace("t", 32)
+
+	const (
+		workers = 8
+		iters   = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i % 10))
+				o.Charge(w%4, 0.0625)
+				tr.Emit("tick", uint64(i), int64(w), int64(i), 0)
+				// Concurrent re-registration must return the same
+				// instruments, not fresh ones.
+				if r.Counter("c") != c || r.Odometer("o", 4) != o {
+					panic("registry returned a different instrument")
+				}
+				_ = r.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != workers*iters {
+		t.Fatalf("counter %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Fatalf("gauge %d, want %d", g.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count %d, want %d", h.Count(), workers*iters)
+	}
+	if o.Charges() != workers*iters {
+		t.Fatalf("odometer charges %d, want %d", o.Charges(), workers*iters)
+	}
+	wantMicro := int64(workers * iters * 62500)
+	if o.TotalMicro() != wantMicro {
+		t.Fatalf("odometer total %d µnat, want %d", o.TotalMicro(), wantMicro)
+	}
+	if tr.Emitted() != workers*iters {
+		t.Fatalf("trace emitted %d, want %d", tr.Emitted(), workers*iters)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{0, 10, 100})
+	for _, v := range []int64{-5, 0, 1, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	// Bounds are inclusive upper edges: (-inf,0], (0,10], (10,100], (100,inf).
+	want := []uint64{2, 2, 2, 2}
+	if !reflect.DeepEqual(s.Counts, want) {
+		t.Fatalf("bucket counts %v, want %v", s.Counts, want)
+	}
+	if s.Count != 8 || s.Sum != -5+0+1+10+11+100+101+5000 {
+		t.Fatalf("count/sum %d/%d", s.Count, s.Sum)
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Trace("ring", 16)
+	for i := 0; i < 40; i++ {
+		tr.Emit("e", uint64(i), 0, int64(i), 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 16 {
+		t.Fatalf("ring kept %d events, want 16", len(ev))
+	}
+	for i, e := range ev {
+		wantSeq := uint64(40 - 16 + i)
+		if e.Seq != wantSeq || e.A != int64(wantSeq) {
+			t.Fatalf("event %d: %+v, want seq %d", i, e, wantSeq)
+		}
+	}
+	if tr.Emitted() != 40 {
+		t.Fatalf("emitted %d, want 40", tr.Emitted())
+	}
+}
+
+func TestOdometerMonotoneAndClamped(t *testing.T) {
+	r := NewRegistry()
+	o := r.Odometer("odo", 2)
+	o.Charge(0, 0.5)
+	o.Charge(1, 0.25)
+	o.Charge(-3, 0.125) // clamps to channel 0
+	o.Charge(99, 0.125) // clamps to channel 1
+	o.Replenish()
+	if got := o.SpentMicro(0); got != 625000 {
+		t.Fatalf("channel 0: %d µnat", got)
+	}
+	if got := o.SpentMicro(1); got != 375000 {
+		t.Fatalf("channel 1: %d µnat", got)
+	}
+	if o.TotalNats() != 1.0 {
+		t.Fatalf("total %g nats", o.TotalNats())
+	}
+	if o.Replenishes() != 1 {
+		t.Fatalf("replenishes %d", o.Replenishes())
+	}
+	// A replenish never shrinks the odometer.
+	if o.TotalMicro() != 1000000 {
+		t.Fatalf("replenish rolled back the odometer: %d", o.TotalMicro())
+	}
+	// Sixteenth-nat hardware charge units are exact in micronats.
+	for u := 1; u <= 32; u++ {
+		if MicroNats(float64(u)/16)%62500 != 0 {
+			t.Fatalf("charge unit %d not exact in µnat", u)
+		}
+	}
+}
+
+func TestRegistryShapeConflictsPanic(t *testing.T) {
+	mustPanic := func(what string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", what)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("x")
+	mustPanic("kind conflict", func() { r.Gauge("x") })
+	r.Histogram("h", []int64{1, 2})
+	mustPanic("bounds conflict", func() { r.Histogram("h", []int64{1, 3}) })
+	mustPanic("bounds length conflict", func() { r.Histogram("h", []int64{1}) })
+	mustPanic("unordered bounds", func() { r.Histogram("h2", []int64{2, 2}) })
+	mustPanic("empty bounds", func() { r.Histogram("h3", nil) })
+	r.Odometer("o", 3)
+	mustPanic("channel conflict", func() { r.Odometer("o", 4) })
+}
+
+func TestNamesSortedAndSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count")
+	r.Gauge("a.gauge")
+	r.Histogram("c.hist", []int64{1})
+	r.Odometer("d.odo", 1).Charge(0, 0.5)
+	r.Trace("e.trace", 16).Emit("boot", 7, 1, 2, 3)
+
+	want := []string{"a.gauge", "b.count", "c.hist", "d.odo", "e.trace"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v\n%s", err, raw)
+	}
+	if back.Odometers["d.odo"].TotalMicroNats != 500000 {
+		t.Fatalf("odometer lost in JSON: %s", raw)
+	}
+	if ev := back.Traces["e.trace"].Events; len(ev) != 1 || ev[0].Kind != "boot" || ev[0].Cycle != 7 {
+		t.Fatalf("trace lost in JSON: %s", raw)
+	}
+	// Marshalling twice yields identical bytes (sorted map keys), the
+	// property the golden schema test relies on.
+	raw2, _ := json.Marshal(r)
+	if string(raw) != string(raw2) {
+		t.Fatal("snapshot JSON not deterministic")
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pub.count").Add(3)
+	// Publishing twice must not panic (expvar.Publish would).
+	r.PublishExpvar("ulpdp-test")
+	r.PublishExpvar("ulpdp-test")
+}
+
+// TestTraceEventsOldestFirst pins the ordering contract before the
+// ring wraps too.
+func TestTraceEventsOldestFirst(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Trace("small", 16)
+	for i := 0; i < 5; i++ {
+		tr.Emit(fmt.Sprintf("k%d", i), uint64(i), 0, 0, 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 5 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	for i, e := range ev {
+		if e.Kind != fmt.Sprintf("k%d", i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package transport
+
+import "ulpdp/internal/obs"
+
+// Metrics is the link layer's slice of the telemetry plane. One
+// Metrics is typically shared by every link of a fleet (the counters
+// are atomic and names are registry-global), aggregating the radio
+// picture across nodes; per-link numbers remain available via
+// Link.Stats.
+type Metrics struct {
+	Sent            *obs.Counter
+	Delivered       *obs.Counter
+	Dropped         *obs.Counter
+	Duplicated      *obs.Counter
+	Reordered       *obs.Counter
+	Corrupted       *obs.Counter
+	Overflow        *obs.Counter
+	RejectedCorrupt *obs.Counter
+}
+
+// NewMetrics registers (or re-binds) the transport metric schema.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Sent:            r.Counter("transport.sent"),
+		Delivered:       r.Counter("transport.delivered"),
+		Dropped:         r.Counter("transport.dropped"),
+		Duplicated:      r.Counter("transport.duplicated"),
+		Reordered:       r.Counter("transport.reordered"),
+		Corrupted:       r.Counter("transport.corrupted"),
+		Overflow:        r.Counter("transport.overflow"),
+		RejectedCorrupt: r.Counter("transport.rejected_corrupt"),
+	}
+}

@@ -161,6 +161,9 @@ type LinkConfig struct {
 	Plane *fault.Plane
 	// QueueCap bounds each direction's receive queue (default 64).
 	QueueCap int
+	// Obs is an optional telemetry plane, usually shared across every
+	// link of a fleet. Nil costs one nil check per event.
+	Obs *Metrics
 }
 
 // held is a frame waiting out its reorder delay.
@@ -181,6 +184,7 @@ type pipe struct {
 // single end must not be shared.
 type Link struct {
 	plane *fault.Plane
+	obs   *Metrics
 	up    *pipe
 	down  *pipe
 
@@ -196,6 +200,7 @@ func NewLink(cfg LinkConfig) *Link {
 	}
 	return &Link{
 		plane: cfg.Plane,
+		obs:   cfg.Obs,
 		up:    &pipe{ch: make(chan []byte, cap)},
 		down:  &pipe{ch: make(chan []byte, cap)},
 	}
@@ -243,6 +248,9 @@ func (e *Endpoint) Send(p Packet) {
 	l := e.link
 	frame := Marshal(p)
 	l.count(func(s *Stats) { s.Sent++ })
+	if m := l.obs; m != nil {
+		m.Sent.Inc()
+	}
 
 	var fate fault.PacketFate
 	if l.plane != nil {
@@ -251,6 +259,9 @@ func (e *Endpoint) Send(p Packet) {
 	if fate.Corrupt {
 		frame[(fate.FlipBit/8)%frameLen] ^= 1 << (fate.FlipBit % 8)
 		l.count(func(s *Stats) { s.CorruptedInFlight++ })
+		if m := l.obs; m != nil {
+			m.Corrupted.Inc()
+		}
 	}
 
 	p2 := e.sendPipe
@@ -261,17 +272,26 @@ func (e *Endpoint) Send(p Packet) {
 	if fate.Drop {
 		p2.mu.Unlock()
 		l.count(func(s *Stats) { s.Dropped++ })
+		if m := l.obs; m != nil {
+			m.Dropped.Inc()
+		}
 		return
 	}
 	if fate.Delay > 0 {
 		p2.held = append(p2.held, held{frame: frame, remaining: fate.Delay})
 		l.count(func(s *Stats) { s.Reordered++ })
+		if m := l.obs; m != nil {
+			m.Reordered.Inc()
+		}
 	} else {
 		e.enqueueLocked(p2, frame)
 	}
 	for i := 0; i < fate.Duplicates; i++ {
 		e.enqueueLocked(p2, append([]byte(nil), frame...))
 		l.count(func(s *Stats) { s.Duplicated++ })
+		if m := l.obs; m != nil {
+			m.Duplicated.Inc()
+		}
 	}
 	p2.mu.Unlock()
 }
@@ -297,8 +317,14 @@ func (e *Endpoint) enqueueLocked(p *pipe, frame []byte) {
 	select {
 	case p.ch <- frame:
 		e.link.count(func(s *Stats) { s.Delivered++ })
+		if m := e.link.obs; m != nil {
+			m.Delivered.Inc()
+		}
 	default:
 		e.link.count(func(s *Stats) { s.Overflow++ })
+		if m := e.link.obs; m != nil {
+			m.Overflow.Inc()
+		}
 	}
 }
 
@@ -330,6 +356,9 @@ func (e *Endpoint) Recv(timeout time.Duration) (Packet, bool) {
 			p, err := Unmarshal(frame)
 			if err != nil {
 				e.link.count(func(s *Stats) { s.RejectedCorrupt++ })
+				if m := e.link.obs; m != nil {
+					m.RejectedCorrupt.Inc()
+				}
 				continue
 			}
 			return p, true
@@ -352,6 +381,9 @@ func (e *Endpoint) TryRecv() (Packet, bool) {
 			p, err := Unmarshal(frame)
 			if err != nil {
 				e.link.count(func(s *Stats) { s.RejectedCorrupt++ })
+				if m := e.link.obs; m != nil {
+					m.RejectedCorrupt.Inc()
+				}
 				continue
 			}
 			return p, true

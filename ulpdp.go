@@ -42,6 +42,7 @@ import (
 	"ulpdp/internal/laplace"
 	"ulpdp/internal/msp430"
 	"ulpdp/internal/noisedist"
+	"ulpdp/internal/obs"
 	"ulpdp/internal/urng"
 )
 
@@ -374,4 +375,27 @@ type VCDTracer = dpbox.VCDTracer
 // with (*DPBox).SetTracer.
 func NewVCDTracer(out io.Writer) (*VCDTracer, error) {
 	return dpbox.NewVCDTracer(out)
+}
+
+// ObsRegistry is the process-wide telemetry registry: counters,
+// gauges, histograms, the privacy odometer, and the event trace ring.
+// See docs/observability.md for the metric name schema.
+type ObsRegistry = obs.Registry
+
+// NewObsRegistry returns an empty telemetry registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// ObsSnapshot is a point-in-time copy of a registry, JSON-ready.
+type ObsSnapshot = obs.Snapshot
+
+// DPBoxMetrics is the DP-Box telemetry plane; attach one via
+// DPBoxConfig.Obs (nil disables telemetry at zero cost on the noise
+// hot path — see BenchmarkDPBoxObsDisabled).
+type DPBoxMetrics = dpbox.Metrics
+
+// NewDPBoxMetrics registers the DP-Box metric schema on a registry.
+// channels sizes the privacy odometer — one channel per Bank sensor
+// or fleet node.
+func NewDPBoxMetrics(r *ObsRegistry, channels int) *DPBoxMetrics {
+	return dpbox.NewMetrics(r, channels)
 }
