@@ -1,10 +1,11 @@
 // Benchmark-regression tooling: `dpbench -benchjson DIR` runs the
-// analyzer and noising micro-benchmarks through testing.Benchmark and
-// writes machine-readable BENCH_analyzer.json and BENCH_noise.json
-// files, giving future changes a perf trajectory to compare against:
+// analyzer, noising, and fleet-datapath benchmarks through
+// testing.Benchmark and writes machine-readable BENCH_analyzer.json,
+// BENCH_noise.json, and BENCH_fleet.json files, giving future changes
+// a perf trajectory to compare against:
 //
 //	dpbench -benchjson .            # writes ./BENCH_*.json
-//	jq '.benchmarks[].ns_per_op' BENCH_analyzer.json
+//	jq '.benchmarks[].ns_per_op' BENCH_fleet.json
 package main
 
 import (
@@ -14,9 +15,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
 
+	"ulpdp/internal/collector"
 	"ulpdp/internal/core"
+	"ulpdp/internal/fault"
+	"ulpdp/internal/fleet"
 	"ulpdp/internal/laplace"
+	"ulpdp/internal/transport"
 	"ulpdp/internal/urng"
 )
 
@@ -168,6 +174,83 @@ func noiseBenches() []namedBench {
 	}
 }
 
+// fleetBenches measures the fleet datapath: raw sharded-collector
+// ingest at 1k attached nodes (the ISSUE's ≥10×-over-single-processor
+// scale point), and complete end-to-end fleet runs, lossless and
+// under chaos.
+func fleetBenches() []namedBench {
+	return []namedBench{
+		{"CollectorIngest1k", func(b *testing.B) {
+			const nodes, inFlight = 1024, 4096
+			col := collector.New(collector.Config{
+				BreakerThreshold: 1 << 30,
+				PollTimeout:      time.Hour,
+			})
+			defer col.Close()
+			ends := make([]*transport.Endpoint, nodes)
+			for i := 0; i < nodes; i++ {
+				link := transport.NewLink(transport.LinkConfig{QueueCap: 256})
+				if err := col.Attach(transport.NodeID(i), link.CollectorEnd()); err != nil {
+					b.Fatal(err)
+				}
+				ends[i] = link.NodeEnd()
+			}
+			seqs := make([]uint64, nodes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := i % nodes
+				ends[n].Send(transport.Packet{
+					Kind: transport.KindReport, Node: transport.NodeID(n),
+					Seq: seqs[n], Value: int64(i),
+				})
+				seqs[n]++
+				for {
+					if _, ok := ends[n].TryRecv(); !ok {
+						break
+					}
+				}
+				if (i+1)%inFlight == 0 {
+					for col.Stats().Accepted+inFlight < uint64(i+1) {
+						runtime.Gosched()
+					}
+				}
+			}
+			for col.Stats().Accepted < uint64(b.N) {
+				runtime.Gosched()
+			}
+		}},
+		{"FleetLossless256", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(fleet.Config{
+					Nodes: 256, Reports: 4, Seed: 42,
+					BreakerThreshold: 1 << 20,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Violations) != 0 {
+					b.Fatalf("violations: %v", res.Violations)
+				}
+			}
+		}},
+		{"FleetChaos256", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(fleet.Config{
+					Nodes: 256, Reports: 4, Seed: 42,
+					BreakerThreshold: 1 << 20,
+					Link:             fault.LinkProfile{Drop: 0.2, Duplicate: 0.1, Reorder: 0.1, MaxDelay: 2},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Violations) != 0 {
+					b.Fatalf("violations: %v", res.Violations)
+				}
+			}
+		}},
+	}
+}
+
 func runSuite(suite string, benches []namedBench) BenchFile {
 	out := BenchFile{
 		Suite:     suite,
@@ -190,8 +273,9 @@ func runSuite(suite string, benches []namedBench) BenchFile {
 	return out
 }
 
-// writeBenchJSON runs both micro-benchmark suites and writes
-// BENCH_analyzer.json and BENCH_noise.json into dir.
+// writeBenchJSON runs the micro-benchmark suites and writes
+// BENCH_analyzer.json, BENCH_noise.json, and BENCH_fleet.json into
+// dir.
 func writeBenchJSON(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -199,6 +283,7 @@ func writeBenchJSON(dir string) error {
 	suites := map[string]BenchFile{
 		"BENCH_analyzer.json": runSuite("analyzer", analyzerBenches()),
 		"BENCH_noise.json":    runSuite("noise", noiseBenches()),
+		"BENCH_fleet.json":    runSuite("fleet", fleetBenches()),
 	}
 	for name, f := range suites {
 		buf, err := json.MarshalIndent(f, "", "  ")

@@ -10,10 +10,14 @@
 //
 //	fleetsim [-quick] [-nodes N] [-reports N] [-seed N]
 //	         [-drop P] [-dup P] [-reorder P] [-corrupt P] [-maxdelay N]
-//	         [-crash-every N] [-metrics] [-debug ADDR] [-v]
+//	         [-crash-every N] [-workers N] [-shards N] [-deadline D]
+//	         [-metrics] [-debug ADDR] [-v]
 //
 // -quick is the CI smoke preset: a small fleet under a filthy link
-// with crash-recovery every second report.
+// with crash-recovery every second report. It only fills in flags the
+// command line left at their defaults, so it composes with explicit
+// overrides — `fleetsim -quick -nodes 10000` is the scale smoke: the
+// quick chaos profile over ten thousand nodes.
 //
 // -metrics attaches the telemetry plane to the chaos run — the
 // privacy odometer is then asserted live against the certified n·ε
@@ -50,14 +54,37 @@ func run() int {
 	corrupt := flag.Float64("corrupt", 0.05, "per-frame corruption probability")
 	maxDelay := flag.Int("maxdelay", 3, "max reorder holdback in frames")
 	crashEvery := flag.Int("crash-every", 0, "crash-recover each node after every k-th report (0 = never)")
+	workers := flag.Int("workers", 0, "node worker-pool size (0 = 8x GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "collector ingest shards (0 = GOMAXPROCS)")
+	deadline := flag.Duration("deadline", 0, "wall-clock ceiling for each fleet run (0 = library default)")
 	metrics := flag.Bool("metrics", false, "attach the telemetry plane to the chaos run and print its JSON snapshot")
 	debugAddr := flag.String("debug", "", "serve /debug/vars (expvar) and /debug/pprof at this address; implies -metrics and blocks after the run")
 	verbose := flag.Bool("v", false, "print per-node detail")
 	flag.Parse()
 
 	if *quick {
-		*nodes, *reports, *crashEvery = 4, 4, 2
-		*drop, *dup, *reorder, *corrupt, *maxDelay = 0.3, 0.2, 0.2, 0.1, 3
+		// The preset only fills in flags the user didn't set, so
+		// explicit overrides (e.g. -nodes 10000) survive it.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		preset := func(name string, p *int, v int) {
+			if !set[name] {
+				*p = v
+			}
+		}
+		presetF := func(name string, p *float64, v float64) {
+			if !set[name] {
+				*p = v
+			}
+		}
+		preset("nodes", nodes, 4)
+		preset("reports", reports, 4)
+		preset("crash-every", crashEvery, 2)
+		preset("maxdelay", maxDelay, 3)
+		presetF("drop", drop, 0.3)
+		presetF("dup", dup, 0.2)
+		presetF("reorder", reorder, 0.2)
+		presetF("corrupt", corrupt, 0.1)
 	}
 
 	cfg := fleet.Config{
@@ -65,6 +92,9 @@ func run() int {
 		Reports:    *reports,
 		Seed:       *seed,
 		CrashEvery: *crashEvery,
+		Workers:    *workers,
+		Shards:     *shards,
+		Deadline:   *deadline,
 		Link: fault.LinkProfile{
 			Drop: *drop, Duplicate: *dup, Reorder: *reorder,
 			Corrupt: *corrupt, MaxDelay: *maxDelay,

@@ -3,28 +3,45 @@
 // deduplicates them idempotently by (node, seq), ACKs what it has
 // durably recorded, and degrades gracefully when a node goes bad.
 //
-// The pipeline is: one receive goroutine per attached node feeds a
-// bounded shared ingest queue; a single processor goroutine drains
-// the queue, applies dedup + circuit-breaker policy under one lock,
-// and sends the ACK. A full ingest queue sheds the report without
-// ACKing it — backpressure looks exactly like packet loss, and the
-// node's retry loop recovers it. Because the ACK is sent only after
-// the report is recorded, "the agent saw an ACK" implies "the
-// collector counted the value": at-least-once delivery composes with
-// idempotent dedup into exactly-once accounting.
+// The ingest plane is sharded and event-driven. Every attached node
+// is owned by exactly one shard, chosen by hash(NodeID) % Shards; a
+// shard holds its nodes' dedup maps, breaker state, and stats under
+// its own lock, so shards never contend with each other. Instead of
+// one busy-polling goroutine per node, each link endpoint registers a
+// readiness hook (transport.Endpoint.SetNotify): when a frame lands,
+// the hook arms the node's pending bit and pushes its ID onto the
+// owning shard's ready queue. The shard's single reactor goroutine
+// wakes, drains every ready link with TryRecv, applies dedup +
+// circuit-breaker policy, and writes the batch's ACKs back after
+// releasing the shard lock. Idle links cost nothing — no goroutine,
+// no poll, no lock traffic.
 //
-// Per-node circuit breakers trip after consecutive failures (receive
-// timeouts or reports flagged URNG-unhealthy), discard traffic while
-// open, then half-open and probe: the next healthy report closes the
-// breaker, an unhealthy one re-opens it. While a breaker is open —
-// or a node reports its privacy budget exhausted — queries for that
-// node serve the last-ACKed cached value, marked degraded, instead
-// of failing.
+// Because the ACK is sent only after the report is recorded, "the
+// agent saw an ACK" implies "the collector counted the value":
+// at-least-once delivery composes with idempotent dedup into
+// exactly-once accounting. Backpressure is the link's own bounded
+// receive queue: a slow shard lets frames overflow there, which looks
+// exactly like packet loss, and the node's retry loop recovers it.
+//
+// Node state is confined to its shard and every per-node decision
+// depends only on that node's own report stream, so any shard count
+// produces bit-identical per-node values, stats, and breaker
+// transitions (see TestShardEquivalenceProperty).
+//
+// Per-node circuit breakers trip after consecutive failures (idle
+// ticks of silence or reports flagged URNG-unhealthy), discard
+// traffic while open, then half-open and probe: the next healthy
+// report closes the breaker, an unhealthy one re-opens it. While a
+// breaker is open — or a node reports its privacy budget exhausted —
+// queries for that node serve the last-ACKed cached value, marked
+// degraded, instead of failing.
 package collector
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ulpdp/internal/transport"
@@ -58,49 +75,147 @@ func (s BreakerState) String() string {
 // Config parameterizes a Collector. The zero value gets
 // simulation-friendly defaults.
 type Config struct {
-	// PollTimeout is each receive goroutine's wait per poll
-	// (default 2ms). A poll that returns nothing is one breaker
-	// failure tick.
+	// PollTimeout is each shard's idle-tick period (default 2ms). A
+	// tick in which a node delivered nothing is one breaker failure
+	// tick for that node — the event-driven equivalent of the old
+	// per-node empty 2ms poll.
 	PollTimeout time.Duration
-	// QueueCap bounds the shared ingest queue (default 256).
+	// Shards is the number of independent ingest shards (default 8,
+	// clamped to [1, 1024]). Each shard runs one reactor goroutine
+	// and owns the dedup/breaker/stats state of the nodes hashed to
+	// it. Per-node results are bit-identical for any shard count.
+	Shards int
+	// QueueCap is retained for configuration compatibility. The
+	// event-driven reactor has no shared ingest queue — pending
+	// frames wait in each link's own bounded receive queue — so the
+	// value is ignored.
 	QueueCap int
 	// BreakerThreshold is the consecutive-failure count that trips a
 	// node's breaker (default 8).
 	BreakerThreshold int
-	// OpenTicks is how many receive timeouts an open breaker waits
-	// before half-opening to probe (default 4).
+	// OpenTicks is how many idle ticks an open breaker waits before
+	// half-opening to probe (default 4).
 	OpenTicks int
 	// Obs is an optional telemetry plane. Nil costs one nil check per
 	// event.
 	Obs *Metrics
 
-	// procDelay stalls the processor per report; tests use it to
-	// force ingest-queue backpressure deterministically.
+	// procDelay stalls a shard per report; tests use it to force
+	// slow-consumer backpressure deterministically.
 	procDelay time.Duration
 }
 
 // Stats counts collector events; read a snapshot with Collector.Stats.
+// Counters are lock-striped per shard and summed on read.
 type Stats struct {
 	// Accepted counts first-time (node, seq) reports recorded.
 	Accepted uint64
 	// Duplicates counts re-deliveries of an already-recorded
 	// (node, seq); they are re-ACKed but change nothing.
 	Duplicates uint64
-	// Backpressure counts reports shed by the full ingest queue.
+	// Backpressure counts reports shed by the legacy shared ingest
+	// queue. The sharded reactor has no such queue — backpressure now
+	// surfaces as transport.Stats.Overflow on the link — so this is
+	// always 0; the field survives for schema compatibility.
 	Backpressure uint64
 	// BreakerDrops counts reports discarded by an open breaker.
 	BreakerDrops uint64
-	// Timeouts counts empty receive polls.
+	// Timeouts counts per-node idle ticks (a node delivering nothing
+	// for one PollTimeout period).
 	Timeouts uint64
 }
 
+func (s *Stats) add(o Stats) {
+	s.Accepted += o.Accepted
+	s.Duplicates += o.Duplicates
+	s.Backpressure += o.Backpressure
+	s.BreakerDrops += o.BreakerDrops
+	s.Timeouts += o.Timeouts
+}
+
+// denseLimit bounds the flat per-node value slice: sequence numbers
+// below it index the slice directly; anything at or above spills to a
+// map, so one hostile far-future seq cannot force a huge allocation.
+const denseLimit = 1 << 20
+
+// valueStore holds one node's distinct recorded (seq, value) pairs.
+// Agents number reports densely from zero, so the hot path is a flat
+// slice indexed by seq plus a seen-bitmap (reorder gaps are just
+// unset bits) — no hashing, no per-insert bucket churn, amortized
+// zero allocations. Far-out seqs fall back to a spill map.
+type valueStore struct {
+	vals []int64
+	seen []uint64 // bitmap over vals: bit seq set once recorded
+	far  map[uint64]int64
+	n    int // distinct seqs recorded
+}
+
+// has reports whether seq was already recorded.
+func (vs *valueStore) has(seq uint64) bool {
+	if seq < uint64(len(vs.vals)) {
+		return vs.seen[seq>>6]&(1<<(seq&63)) != 0
+	}
+	_, ok := vs.far[seq]
+	return ok
+}
+
+// get returns the recorded value for seq (zero if absent; callers
+// check has first).
+func (vs *valueStore) get(seq uint64) int64 {
+	if seq < uint64(len(vs.vals)) {
+		return vs.vals[seq]
+	}
+	return vs.far[seq]
+}
+
+// put records a first-time seq. Callers guarantee !has(seq).
+func (vs *valueStore) put(seq uint64, v int64) {
+	if seq < denseLimit {
+		for uint64(len(vs.vals)) <= seq {
+			vs.vals = append(vs.vals, 0)
+		}
+		for len(vs.seen)*64 < len(vs.vals) {
+			vs.seen = append(vs.seen, 0)
+		}
+		vs.vals[seq] = v
+		vs.seen[seq>>6] |= 1 << (seq & 63)
+	} else {
+		if vs.far == nil {
+			vs.far = make(map[uint64]int64)
+		}
+		vs.far[seq] = v
+	}
+	vs.n++
+}
+
+// forEach visits every recorded (seq, value) pair.
+func (vs *valueStore) forEach(f func(seq uint64, v int64)) {
+	for w, word := range vs.seen {
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			seq := uint64(w*64 + t)
+			f(seq, vs.vals[seq])
+			word &^= 1 << t
+		}
+	}
+	for s, v := range vs.far {
+		f(s, v)
+	}
+}
+
 // nodeState is everything the collector knows about one node.
-// Guarded by Collector.mu.
+// Guarded by its owning shard's mu, except pending (atomic).
 type nodeState struct {
 	end *transport.Endpoint
 
-	values map[uint64]int64 // dedup: seq -> recorded value
-	flags  map[uint64]uint8
+	// pending is the readiness coalescing bit: set by the link's
+	// notify hook when frames land (pushing the node ID onto the
+	// shard's ready queue exactly once), cleared by the reactor just
+	// before draining, so a node sits in the ready queue at most once
+	// no matter how many frames arrive.
+	pending atomic.Bool
+
+	store valueStore // dedup + distinct recorded values
 
 	haveAck   bool
 	lastSeq   uint64 // highest ACKed seq
@@ -110,12 +225,7 @@ type nodeState struct {
 	breaker    BreakerState
 	consecFail int
 	openLeft   int
-}
-
-// item is one report in the ingest queue.
-type item struct {
-	node transport.NodeID
-	pkt  transport.Packet
+	sawReport  bool // any frame since the last idle tick
 }
 
 // NodeView is a query snapshot for one node.
@@ -150,25 +260,55 @@ type Aggregate struct {
 	Degraded int
 }
 
-// Collector ingests, dedups, ACKs, and aggregates fleet reports.
-type Collector struct {
-	cfg    Config
-	ingest chan item
-	stop   chan struct{}
-	wg     sync.WaitGroup
+// ackOut is one batched ACK awaiting writeback.
+type ackOut struct {
+	end *transport.Endpoint
+	pkt transport.Packet
+}
+
+// shard owns a hash partition of the fleet: its nodes' dedup and
+// breaker state, a stripe of the stats, and one reactor goroutine.
+type shard struct {
+	c *Collector
 
 	mu    sync.Mutex
 	nodes map[transport.NodeID]*nodeState
 	stats Stats
+
+	// ready is the coalesced readiness queue (each node at most once,
+	// enforced by nodeState.pending); wake is its level-triggered
+	// doorbell. awake is set while the reactor is draining so pushes
+	// landing mid-drain skip the doorbell send — the reactor re-checks
+	// the queue before parking, so no wakeup is lost.
+	readyMu sync.Mutex
+	ready   []transport.NodeID
+	wake    chan struct{}
+	awake   atomic.Bool
+
+	// Reactor-goroutine scratch, reused across batches so the
+	// steady-state per-report path allocates nothing.
+	spare []transport.NodeID
+	acks  []ackOut
 }
 
-// New starts a collector (its processor goroutine runs until Close).
+// Collector ingests, dedups, ACKs, and aggregates fleet reports.
+type Collector struct {
+	cfg    Config
+	shards []*shard
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New starts a collector (its shard reactors run until Close).
 func New(cfg Config) *Collector {
 	if cfg.PollTimeout <= 0 {
 		cfg.PollTimeout = 2 * time.Millisecond
 	}
-	if cfg.QueueCap <= 0 {
-		cfg.QueueCap = 256
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Shards > 1024 {
+		cfg.Shards = 1024
 	}
 	if cfg.BreakerThreshold <= 0 {
 		cfg.BreakerThreshold = 8
@@ -178,112 +318,194 @@ func New(cfg Config) *Collector {
 	}
 	c := &Collector{
 		cfg:    cfg,
-		ingest: make(chan item, cfg.QueueCap),
+		shards: make([]*shard, cfg.Shards),
 		stop:   make(chan struct{}),
-		nodes:  make(map[transport.NodeID]*nodeState),
 	}
-	c.wg.Add(1)
-	go c.process()
+	for i := range c.shards {
+		sh := &shard{
+			c:     c,
+			nodes: make(map[transport.NodeID]*nodeState),
+			wake:  make(chan struct{}, 1),
+		}
+		c.shards[i] = sh
+		c.wg.Add(1)
+		go sh.run()
+	}
 	return c
 }
 
-// Attach registers a node's link endpoint and starts its receive
-// goroutine. Attaching the same ID twice is an error.
+// shardFor maps a node to its owning shard: hash(NodeID) % Shards.
+func (c *Collector) shardFor(id transport.NodeID) *shard {
+	h := uint64(id) * 0x9E3779B97F4A7C15 // Fibonacci hashing spreads dense IDs
+	return c.shards[(h>>32)%uint64(len(c.shards))]
+}
+
+// Attach registers a node's link endpoint with its owning shard and
+// installs the readiness hook. Attaching the same ID twice is an
+// error.
 func (c *Collector) Attach(id transport.NodeID, end *transport.Endpoint) error {
-	c.mu.Lock()
-	if _, dup := c.nodes[id]; dup {
-		c.mu.Unlock()
+	sh := c.shardFor(id)
+	ns := &nodeState{end: end}
+	sh.mu.Lock()
+	if _, dup := sh.nodes[id]; dup {
+		sh.mu.Unlock()
 		return fmt.Errorf("collector: node %d already attached", id)
 	}
-	c.nodes[id] = &nodeState{
-		end:    end,
-		values: make(map[uint64]int64),
-		flags:  make(map[uint64]uint8),
-	}
-	c.mu.Unlock()
+	sh.nodes[id] = ns
+	sh.mu.Unlock()
 
-	c.wg.Add(1)
-	go c.receive(id, end)
+	end.SetNotify(func() {
+		if ns.pending.CompareAndSwap(false, true) {
+			sh.push(id)
+		}
+	})
+	// Frames may have landed before the hook existed; arm and enqueue
+	// once so they are drained.
+	ns.pending.Store(true)
+	sh.push(id)
 	return nil
 }
 
-// Close stops every goroutine and waits for them.
+// Close stops every shard reactor and waits for them.
 func (c *Collector) Close() {
 	close(c.stop)
 	c.wg.Wait()
 }
 
-// receive is the per-node ingest front: poll the link, feed the
-// bounded queue, and report silence to the breaker.
-func (c *Collector) receive(id transport.NodeID, end *transport.Endpoint) {
-	defer c.wg.Done()
-	for {
-		select {
-		case <-c.stop:
-			return
-		default:
-		}
-		pkt, ok := end.Recv(c.cfg.PollTimeout)
-		if !ok {
-			c.noteTimeout(id)
-			continue
-		}
-		if pkt.Kind != transport.KindReport || pkt.Node != id {
-			continue // stray or echoed frame; the checksum already passed, but it is not ours
-		}
-		select {
-		case c.ingest <- item{node: id, pkt: pkt}:
-			if m := c.cfg.Obs; m != nil {
-				m.QueueDepth.Set(int64(len(c.ingest)))
-			}
-		default:
-			// Queue full: shed without ACK. The node retries, and by
-			// then the queue has drained — backpressure is just
-			// self-inflicted packet loss.
-			c.count(func(s *Stats) { s.Backpressure++ })
-			if m := c.cfg.Obs; m != nil {
-				m.Backpressure.Inc()
-			}
-		}
-	}
-}
-
-// process is the single consumer of the ingest queue.
-func (c *Collector) process() {
-	defer c.wg.Done()
-	for {
-		select {
-		case <-c.stop:
-			return
-		case it := <-c.ingest:
-			if m := c.cfg.Obs; m != nil {
-				m.QueueDepth.Set(int64(len(c.ingest)))
-			}
-			if c.cfg.procDelay > 0 {
-				time.Sleep(c.cfg.procDelay)
-			}
-			c.handle(it)
-		}
-	}
-}
-
-// handle applies breaker policy and dedup for one report, then ACKs.
-func (c *Collector) handle(it item) {
-	c.mu.Lock()
-	ns := c.nodes[it.node]
-	if ns == nil {
-		c.mu.Unlock()
+// push appends a node to the shard's ready queue and rings the
+// doorbell. Callers hold the node's pending bit, so each node appears
+// at most once (plus the harmless extra entry Attach seeds). The
+// doorbell is skipped while the reactor is already draining: if the
+// reactor misses this entry in its current pass, it re-checks the
+// queue after clearing awake, and the mutex ordering guarantees it
+// either sees the entry then or this push sees awake==false and
+// rings.
+func (sh *shard) push(id transport.NodeID) {
+	sh.readyMu.Lock()
+	sh.ready = append(sh.ready, id)
+	sh.readyMu.Unlock()
+	if sh.awake.Load() {
 		return
 	}
-	unhealthy := it.pkt.Flags&transport.FlagUnhealthy != 0
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
 
-	m := c.cfg.Obs
+// run is the shard reactor: sleep until a link announces frames (or
+// the idle tick fires), then drain exactly the ready links.
+func (sh *shard) run() {
+	defer sh.c.wg.Done()
+	tick := time.NewTicker(sh.c.cfg.PollTimeout)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sh.c.stop:
+			return
+		case <-sh.wake:
+			sh.drainAll()
+		case <-tick.C:
+			sh.idleTick()
+		}
+	}
+}
+
+// drainAll drains ready links until the queue stays empty, with the
+// awake flag raised so mid-drain arrivals don't ring the doorbell.
+// Before parking it lowers the flag and re-checks the queue: a push
+// that skipped the doorbell either landed before the check (seen
+// here) or loaded awake after the lowering store (and rang).
+func (sh *shard) drainAll() {
+	sh.awake.Store(true)
+	for sh.drain() {
+	}
+	sh.awake.Store(false)
+	sh.readyMu.Lock()
+	again := len(sh.ready) > 0
+	sh.readyMu.Unlock()
+	if again {
+		select {
+		case sh.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// drain swaps out the ready queue and processes every pending link:
+// clear the node's pending bit (arrivals during the drain re-arm it
+// and re-queue the node), pull frames with TryRecv until dry, apply
+// breaker + dedup policy under the shard lock, then write the batch's
+// ACKs back after releasing it. It reports whether it pulled any
+// ready links, so drainAll can loop until the queue runs dry.
+func (sh *shard) drain() bool {
+	sh.readyMu.Lock()
+	ids := sh.ready
+	sh.ready = sh.spare[:0]
+	sh.readyMu.Unlock()
+	if len(ids) == 0 {
+		sh.spare = ids
+		return false
+	}
+
+	batch := 0
+	sh.mu.Lock()
+	for _, id := range ids {
+		ns := sh.nodes[id]
+		if ns == nil {
+			continue
+		}
+		ns.pending.Store(false)
+		for {
+			pkt, ok := ns.end.TryRecv()
+			if !ok {
+				break
+			}
+			if pkt.Kind != transport.KindReport || pkt.Node != id {
+				continue // stray or echoed frame; the checksum already passed, but it is not ours
+			}
+			if d := sh.c.cfg.procDelay; d > 0 {
+				time.Sleep(d)
+			}
+			sh.handleLocked(id, ns, pkt)
+			batch++
+		}
+	}
+	sh.mu.Unlock()
+
+	// Queue-depth telemetry is sampled once per drained batch (the
+	// number of reports this pass pulled off the wire) instead of
+	// being written on every enqueue and dequeue — two contended
+	// atomic writes per report on the old single-queue path.
+	if m := sh.c.cfg.Obs; m != nil && batch > 0 {
+		m.QueueDepth.Set(int64(batch))
+	}
+
+	// Batched ACK writeback: every ACK follows its report's recording
+	// (record under the shard lock, ACK after), preserving the
+	// "ACKed implies counted" invariant while keeping link sends off
+	// the shard's critical section.
+	for i := range sh.acks {
+		sh.acks[i].end.Send(sh.acks[i].pkt)
+		sh.acks[i] = ackOut{}
+	}
+	sh.acks = sh.acks[:0]
+	sh.spare = ids[:0]
+	return true
+}
+
+// handleLocked applies breaker policy and dedup for one report and
+// queues its ACK. Callers hold sh.mu.
+func (sh *shard) handleLocked(id transport.NodeID, ns *nodeState, pkt transport.Packet) {
+	ns.sawReport = true
+	unhealthy := pkt.Flags&transport.FlagUnhealthy != 0
+
+	m := sh.c.cfg.Obs
 	switch ns.breaker {
 	case BreakerOpen:
 		// Cooling off: traffic is discarded unACKed; the node's
 		// retries will land once the breaker half-opens.
-		c.stats.BreakerDrops++
-		c.mu.Unlock()
+		sh.stats.BreakerDrops++
 		if m != nil {
 			m.BreakerDrops.Inc()
 		}
@@ -292,29 +514,27 @@ func (c *Collector) handle(it item) {
 		if unhealthy {
 			// Probe failed: back to open for another cooldown.
 			ns.breaker = BreakerOpen
-			ns.openLeft = c.cfg.OpenTicks
-			c.stats.BreakerDrops++
-			c.mu.Unlock()
+			ns.openLeft = sh.c.cfg.OpenTicks
+			sh.stats.BreakerDrops++
 			if m != nil {
 				m.BreakerDrops.Inc()
-				m.transition(int64(it.node), BreakerHalfOpen, BreakerOpen)
+				m.transition(int64(id), BreakerHalfOpen, BreakerOpen)
 			}
 			return
 		}
 		ns.breaker = BreakerClosed
 		ns.consecFail = 0
-		m.transition(int64(it.node), BreakerHalfOpen, BreakerClosed)
+		m.transition(int64(id), BreakerHalfOpen, BreakerClosed)
 	case BreakerClosed:
 		if unhealthy {
 			ns.consecFail++
-			if ns.consecFail >= c.cfg.BreakerThreshold {
+			if ns.consecFail >= sh.c.cfg.BreakerThreshold {
 				ns.breaker = BreakerOpen
-				ns.openLeft = c.cfg.OpenTicks
-				c.stats.BreakerDrops++
-				c.mu.Unlock()
+				ns.openLeft = sh.c.cfg.OpenTicks
+				sh.stats.BreakerDrops++
 				if m != nil {
 					m.BreakerDrops.Inc()
-					m.transition(int64(it.node), BreakerClosed, BreakerOpen)
+					m.transition(int64(id), BreakerClosed, BreakerOpen)
 				}
 				return
 			}
@@ -323,85 +543,93 @@ func (c *Collector) handle(it item) {
 		}
 	}
 
-	if _, seen := ns.values[it.pkt.Seq]; seen {
-		c.stats.Duplicates++
+	if ns.store.has(pkt.Seq) {
+		sh.stats.Duplicates++
 		if m != nil {
 			m.Duplicates.Inc()
 		}
 	} else {
-		ns.values[it.pkt.Seq] = it.pkt.Value
-		ns.flags[it.pkt.Seq] = it.pkt.Flags
-		c.stats.Accepted++
+		ns.store.put(pkt.Seq, pkt.Value)
+		sh.stats.Accepted++
 		if m != nil {
 			m.Accepted.Inc()
 		}
 	}
-	if !ns.haveAck || it.pkt.Seq >= ns.lastSeq {
+	if !ns.haveAck || pkt.Seq >= ns.lastSeq {
 		ns.haveAck = true
-		ns.lastSeq = it.pkt.Seq
-		ns.lastValue = ns.values[it.pkt.Seq]
-		ns.exhausted = it.pkt.Flags&transport.FlagFromCache != 0
+		ns.lastSeq = pkt.Seq
+		ns.lastValue = ns.store.get(pkt.Seq)
+		ns.exhausted = pkt.Flags&transport.FlagFromCache != 0
 	}
-	end := ns.end
-	c.mu.Unlock()
 
 	// ACK after recording (including duplicate re-ACKs: the node may
 	// have missed the first ACK).
-	end.Send(transport.Packet{Kind: transport.KindAck, Node: it.node, Seq: it.pkt.Seq})
+	sh.acks = append(sh.acks, ackOut{
+		end: ns.end,
+		pkt: transport.Packet{Kind: transport.KindAck, Node: id, Seq: pkt.Seq},
+	})
 }
 
-// noteTimeout feeds one silent poll into the breaker.
-func (c *Collector) noteTimeout(id transport.NodeID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.Timeouts++
-	m := c.cfg.Obs
-	if m != nil {
-		m.Timeouts.Inc()
-	}
-	ns := c.nodes[id]
-	if ns == nil {
-		return
-	}
-	switch ns.breaker {
-	case BreakerClosed:
-		ns.consecFail++
-		if ns.consecFail >= c.cfg.BreakerThreshold {
-			ns.breaker = BreakerOpen
-			ns.openLeft = c.cfg.OpenTicks
-			m.transition(int64(id), BreakerClosed, BreakerOpen)
+// idleTick feeds one silent tick into the breaker of every node that
+// delivered nothing since the last tick. Only this shard's nodes are
+// walked, under this shard's lock — idle nodes generate zero
+// cross-shard lock traffic. It also flushes reorder holdbacks on
+// silent links (the old per-node Recv deadline did this), so a
+// delayed frame on a drained direction is late, never lost.
+func (sh *shard) idleTick() {
+	m := sh.c.cfg.Obs
+	sh.mu.Lock()
+	for id, ns := range sh.nodes {
+		if ns.sawReport {
+			ns.sawReport = false
+			continue
 		}
-	case BreakerOpen:
-		ns.openLeft--
-		if ns.openLeft <= 0 {
-			ns.breaker = BreakerHalfOpen
-			m.transition(int64(id), BreakerOpen, BreakerHalfOpen)
+		ns.end.FlushHeld()
+		sh.stats.Timeouts++
+		if m != nil {
+			m.Timeouts.Inc()
 		}
-	case BreakerHalfOpen:
-		// Still silent; keep waiting for the probe.
+		switch ns.breaker {
+		case BreakerClosed:
+			ns.consecFail++
+			if ns.consecFail >= sh.c.cfg.BreakerThreshold {
+				ns.breaker = BreakerOpen
+				ns.openLeft = sh.c.cfg.OpenTicks
+				m.transition(int64(id), BreakerClosed, BreakerOpen)
+			}
+		case BreakerOpen:
+			ns.openLeft--
+			if ns.openLeft <= 0 {
+				ns.breaker = BreakerHalfOpen
+				m.transition(int64(id), BreakerOpen, BreakerHalfOpen)
+			}
+		case BreakerHalfOpen:
+			// Still silent; keep waiting for the probe.
+		}
 	}
+	sh.mu.Unlock()
 }
 
-func (c *Collector) count(f func(*Stats)) {
-	c.mu.Lock()
-	f(&c.stats)
-	c.mu.Unlock()
-}
-
-// Stats returns a snapshot of the collector counters.
+// Stats returns a snapshot of the collector counters, summed across
+// the shard stripes.
 func (c *Collector) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var total Stats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		total.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // Node returns the query view for one node: the freshest value, or
 // the last-ACKed cache marked degraded when the breaker is not
 // closed or the node's budget is exhausted.
 func (c *Collector) Node(id transport.NodeID) (NodeView, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ns := c.nodes[id]
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ns := sh.nodes[id]
 	if ns == nil {
 		return NodeView{}, false
 	}
@@ -411,40 +639,46 @@ func (c *Collector) Node(id transport.NodeID) (NodeView, bool) {
 		Have:     ns.haveAck,
 		Degraded: ns.breaker != BreakerClosed || ns.exhausted,
 		Breaker:  ns.breaker,
-		Reports:  len(ns.values),
+		Reports:  ns.store.n,
 	}, true
 }
 
 // Values returns a copy of a node's distinct recorded (seq, value)
 // pairs.
 func (c *Collector) Values(id transport.NodeID) map[uint64]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ns := c.nodes[id]
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ns := sh.nodes[id]
 	if ns == nil {
 		return nil
 	}
-	out := make(map[uint64]int64, len(ns.values))
-	for s, v := range ns.values {
+	out := make(map[uint64]int64, ns.store.n)
+	ns.store.forEach(func(s uint64, v int64) {
 		out[s] = v
-	}
+	})
 	return out
 }
 
-// Aggregate rolls up every node's distinct reports.
+// Aggregate rolls up every node's distinct reports. Shards are
+// visited in turn, so the rollup is a consistent snapshot per shard
+// (and exact whenever the fleet is quiescent, which is when the
+// harness reads it).
 func (c *Collector) Aggregate() Aggregate {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var a Aggregate
-	a.Nodes = len(c.nodes)
-	for _, ns := range c.nodes {
-		a.Reports += len(ns.values)
-		for _, v := range ns.values {
-			a.Sum += v
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		a.Nodes += len(sh.nodes)
+		for _, ns := range sh.nodes {
+			a.Reports += ns.store.n
+			ns.store.forEach(func(_ uint64, v int64) {
+				a.Sum += v
+			})
+			if ns.breaker != BreakerClosed || ns.exhausted {
+				a.Degraded++
+			}
 		}
-		if ns.breaker != BreakerClosed || ns.exhausted {
-			a.Degraded++
-		}
+		sh.mu.Unlock()
 	}
 	return a
 }

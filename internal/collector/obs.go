@@ -12,6 +12,12 @@ const EvBreaker = "collector.breaker"
 // Opened counts closed→open trips, HalfOpened open→half-open
 // cooldown expiries, Closed half-open→closed recoveries, and
 // Reopened half-open→open failed probes.
+//
+// QueueDepth is sampled once per drained reactor batch (the number of
+// reports that pass pulled off the wire) rather than written on every
+// enqueue and dequeue; Backpressure is retained for schema
+// compatibility but stays 0 on the sharded reactor, where
+// backpressure surfaces as transport overflow instead.
 type Metrics struct {
 	Accepted     *obs.Counter
 	Duplicates   *obs.Counter

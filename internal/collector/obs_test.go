@@ -33,37 +33,28 @@ func TestBreakerTransitionMetrics(t *testing.T) {
 	}
 	waitFor(t, 5*time.Second, "first report", func() bool { return state().Have })
 
-	// Silence trips the breaker: closed → open, once.
-	waitFor(t, 5*time.Second, "breaker open", func() bool { return state().Breaker == BreakerOpen })
-	if got := m.Opened.Value(); got != 1 {
-		t.Fatalf("opened = %d, want 1", got)
-	}
+	// Silence trips the breaker: closed → open, once. Transitions are
+	// awaited on the monotonic counters, not by sampling the breaker
+	// state — at PollTimeout granularity the open window lasts only a
+	// few milliseconds and a descheduled poller can miss it entirely.
+	waitFor(t, 5*time.Second, "breaker open", func() bool { return m.Opened.Value() == 1 })
 	if m.Timeouts.Value() == 0 {
 		t.Fatal("breaker tripped with no timeout counted")
 	}
 
 	// Cooldown half-opens it; a failed (unhealthy) probe re-opens.
-	waitFor(t, 5*time.Second, "half-open", func() bool { return state().Breaker == BreakerHalfOpen })
-	if got := m.HalfOpened.Value(); got != 1 {
-		t.Fatalf("half_opened = %d, want 1", got)
-	}
+	waitFor(t, 5*time.Second, "half-open", func() bool { return m.HalfOpened.Value() == 1 })
 	end.Send(transport.Packet{
 		Kind: transport.KindReport, Node: 5, Seq: 1, Value: 41,
 		Flags: transport.FlagUnhealthy,
 	})
-	waitFor(t, 5*time.Second, "re-open after bad probe", func() bool { return state().Breaker == BreakerOpen })
-	if got := m.Reopened.Value(); got != 1 {
-		t.Fatalf("reopened = %d, want 1", got)
-	}
+	waitFor(t, 5*time.Second, "re-open after bad probe", func() bool { return m.Reopened.Value() == 1 })
 	if m.BreakerDrops.Value() == 0 {
 		t.Fatal("failed probe was not counted as a breaker drop")
 	}
 
 	// Second cooldown; a healthy probe closes the breaker.
-	waitFor(t, 5*time.Second, "half-open again", func() bool { return state().Breaker == BreakerHalfOpen })
-	if got := m.HalfOpened.Value(); got != 2 {
-		t.Fatalf("half_opened = %d, want 2", got)
-	}
+	waitFor(t, 5*time.Second, "half-open again", func() bool { return m.HalfOpened.Value() == 2 })
 	end.Send(transport.Packet{Kind: transport.KindReport, Node: 5, Seq: 1, Value: 50})
 	waitFor(t, 5*time.Second, "closed after probe", func() bool { return state().Breaker == BreakerClosed })
 	if got := m.Closed.Value(); got != 1 {

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -56,6 +57,16 @@ type Config struct {
 	// (default 64: chaos stalls shouldn't wedge a healthy node, and
 	// if a breaker does trip, retries ride out the open window).
 	BreakerThreshold int
+	// Workers bounds the concurrent node lifecycles (default
+	// 8×GOMAXPROCS, capped at Nodes). Node lifecycles are mutually
+	// independent and individually deterministic, so the pool size
+	// changes scheduling, never results — it is what lets a 10k-node
+	// fleet run under the race detector's goroutine budget.
+	Workers int
+	// Shards overrides the collector's ingest shard count (0 = the
+	// collector default). Per-node accounting is bit-identical for
+	// any value.
+	Shards int
 	// Obs, when non-nil, threads one telemetry registry through every
 	// layer of the run: each node's DP-Box charges odometer channel i,
 	// and the run checks — live, after every report — that the fleet's
@@ -181,7 +192,7 @@ func Run(cfg Config) (Result, error) {
 		colM = collector.NewMetrics(cfg.Obs)
 	}
 
-	col := collector.New(collector.Config{BreakerThreshold: cfg.BreakerThreshold, Obs: colM})
+	col := collector.New(collector.Config{BreakerThreshold: cfg.BreakerThreshold, Shards: cfg.Shards, Obs: colM})
 	defer col.Close()
 
 	links := make([]*transport.Link, cfg.Nodes)
@@ -189,15 +200,12 @@ func Run(cfg Config) (Result, error) {
 		fp := fault.NewPlane()
 		fp.SetPacketFault(fault.LossyLink(subSeed(cfg.Seed, seedLink, i, 0), cfg.Link))
 		links[i] = transport.NewLink(transport.LinkConfig{Plane: fp, Obs: linkM})
-		if err := col.Attach(transport.NodeID(i), links[i].CollectorEnd()); err != nil {
-			return Result{}, err
-		}
 	}
 
 	res := Result{Nodes: make([]NodeResult, cfg.Nodes)}
 	var (
 		wg    sync.WaitGroup
-		resMu sync.Mutex
+		resMu sync.Mutex // guards Violations only; see runNode
 	)
 	violate := func(format string, args ...any) {
 		resMu.Lock()
@@ -205,131 +213,159 @@ func Run(cfg Config) (Result, error) {
 		resMu.Unlock()
 	}
 
-	for i := 0; i < cfg.Nodes; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			nr := &NodeResult{}
-			defer func() {
-				resMu.Lock()
-				res.Nodes[i] = *nr
-				resMu.Unlock()
-			}()
+	runNode := func(i int) {
+		nr := &NodeResult{}
+		// Each lifecycle writes its own distinct slice index, so no
+		// mutex is needed here — only the shared Violations append is.
+		defer func() { res.Nodes[i] = *nr }()
 
-			j := dpbox.NewJournal()
-			box, err := dpbox.New(boxConfig(subSeed(cfg.Seed, seedURNG, i, 0), j, boxM, i))
+		// Attach lazily, as the lifecycle starts, so nodes queued
+		// behind the worker pool don't sit on the collector accruing
+		// idle breaker ticks before their first report.
+		if err := col.Attach(transport.NodeID(i), links[i].CollectorEnd()); err != nil {
+			violate("node %d: %v", i, err)
+			return
+		}
+
+		j := dpbox.NewJournal()
+		box, err := dpbox.New(boxConfig(subSeed(cfg.Seed, seedURNG, i, 0), j, boxM, i))
+		if err != nil {
+			violate("node %d: %v", i, err)
+			return
+		}
+		if err := box.Initialize(cfg.Budget, 0); err != nil {
+			violate("node %d: %v", i, err)
+			return
+		}
+		if err := box.Configure(1, 0, 16); err != nil {
+			violate("node %d: %v", i, err)
+			return
+		}
+		agentCfg := node.AgentConfig{
+			ID:          transport.NodeID(i),
+			MaxAttempts: 64,
+			JitterSeed:  subSeed(cfg.Seed, seedJitter, i, 0),
+			Obs:         nodeM,
+		}
+		agent := node.NewReportAgent(box, links[i].NodeEnd(), agentCfg)
+
+		for r := 0; r < cfg.Reports; r++ {
+			out, err := agent.Report(ctx, reading(i, r))
 			if err != nil {
-				violate("node %d: %v", i, err)
-				return
-			}
-			if err := box.Initialize(cfg.Budget, 0); err != nil {
-				violate("node %d: %v", i, err)
-				return
-			}
-			if err := box.Configure(1, 0, 16); err != nil {
-				violate("node %d: %v", i, err)
-				return
-			}
-			agentCfg := node.AgentConfig{
-				ID:          transport.NodeID(i),
-				MaxAttempts: 64,
-				JitterSeed:  subSeed(cfg.Seed, seedJitter, i, 0),
-				Obs:         nodeM,
-			}
-			agent := node.NewReportAgent(box, links[i].NodeEnd(), agentCfg)
-
-			for r := 0; r < cfg.Reports; r++ {
-				out, err := agent.Report(ctx, reading(i, r))
-				if err != nil {
-					if ctx.Err() != nil {
-						violate("node %d seq %d: %v", i, r, err)
-						return
-					}
-					if _, ok := box.ReleaseFor(uint64(r)); !ok {
-						// Nothing journaled: the noising itself (not
-						// just delivery) failed.
-						violate("node %d seq %d: %v", i, r, err)
-						return
-					}
-					// Mid-retry abandonment: the (seq, value) binding
-					// is durable; delivery resumes below, possibly on
-					// the post-crash recovered box.
+				if ctx.Err() != nil {
+					violate("node %d seq %d: %v", i, r, err)
+					return
 				}
-				if out.Replayed {
-					violate("node %d seq %d: first noising was a replay", i, out.Seq)
+				if _, ok := box.ReleaseFor(uint64(r)); !ok {
+					// Nothing journaled: the noising itself (not
+					// just delivery) failed.
+					violate("node %d seq %d: %v", i, r, err)
+					return
 				}
-				nr.ExpectedSpendNats += out.Charged
-				delivered := err == nil
-
-				// Live odometer bound: after r+1 reports, node i's
-				// cumulative spend must sit under the certified
-				// per-report envelope (crash replays and cache serves
-				// charge nothing, so the bound holds across chaos).
-				if boxM != nil {
-					certified := math.Min(cfg.Budget, float64(r+1)*perReportCapNats)
-					if spent := boxM.Odometer.SpentNats(i); spent > certified+1e-9 {
-						violate("node %d: odometer %g nats after %d reports exceeds certified %g", i, spent, r+1, certified)
-					}
-				}
-
-				// Deterministic crash schedule: after noising report
-				// r (delivered or not), so recovery sometimes lands
-				// mid-retry with an un-ACKed journaled release.
-				if cfg.CrashEvery > 0 && (r+1)%cfg.CrashEvery == 0 {
-					j.Kill()
-					nr.Crashes++
-					recovered, rerr := dpbox.Recover(boxConfig(subSeed(cfg.Seed, seedURNG, i, nr.Crashes), nil, boxM, i), j)
-					if rerr != nil {
-						violate("node %d crash %d: %v", i, nr.Crashes, rerr)
-						return
-					}
-					if cerr := recovered.Configure(1, 0, 16); cerr != nil {
-						violate("node %d crash %d: %v", i, nr.Crashes, cerr)
-						return
-					}
-					box = recovered
-					agent = node.NewReportAgent(box, links[i].NodeEnd(), agentCfg)
-					if agent.NextSeq() != uint64(r)+1 {
-						violate("node %d crash %d: NextSeq %d, want %d", i, nr.Crashes, agent.NextSeq(), r+1)
-					}
-				}
-
-				for !delivered {
-					if ctx.Err() != nil {
-						violate("node %d seq %d: undelivered at deadline", i, r)
-						return
-					}
-					nr.Redeliveries++
-					if err := agent.Resume(ctx); err == nil {
-						delivered = true
-					}
-				}
+				// Mid-retry abandonment: the (seq, value) binding
+				// is durable; delivery resumes below, possibly on
+				// the post-crash recovered box.
 			}
-
-			nr.Released = releasesOf(box)
-			nr.SpendNats = cfg.Budget - box.BudgetRemaining()
-
-			// Crash-consistency cross-check: replaying the journal
-			// must agree with the live ledger.
-			st, err := j.Replay()
-			if err != nil {
-				violate("node %d: journal replay: %v", i, err)
-				return
+			if out.Replayed {
+				violate("node %d seq %d: first noising was a replay", i, out.Seq)
 			}
-			if live := int64(math.Round((cfg.Budget - nr.SpendNats) * 16)); st.Units != live {
-				violate("node %d: journal units %d != live units %d", i, st.Units, live)
-			}
+			nr.ExpectedSpendNats += out.Charged
+			delivered := err == nil
 
-			// Odometer-vs-ledger cross-check: both sum the same
-			// charges (exact multiples of 1/16 nat), so they must
-			// agree to the micronat.
+			// Live odometer bound: after r+1 reports, node i's
+			// cumulative spend must sit under the certified
+			// per-report envelope (crash replays and cache serves
+			// charge nothing, so the bound holds across chaos).
 			if boxM != nil {
-				if got, want := boxM.Odometer.SpentMicro(i), obs.MicroNats(nr.SpendNats); got != want {
-					violate("node %d: odometer %d µnat != ledger spend %d µnat", i, got, want)
+				certified := math.Min(cfg.Budget, float64(r+1)*perReportCapNats)
+				if spent := boxM.Odometer.SpentNats(i); spent > certified+1e-9 {
+					violate("node %d: odometer %g nats after %d reports exceeds certified %g", i, spent, r+1, certified)
 				}
 			}
-		}(i)
+
+			// Deterministic crash schedule: after noising report
+			// r (delivered or not), so recovery sometimes lands
+			// mid-retry with an un-ACKed journaled release.
+			if cfg.CrashEvery > 0 && (r+1)%cfg.CrashEvery == 0 {
+				j.Kill()
+				nr.Crashes++
+				recovered, rerr := dpbox.Recover(boxConfig(subSeed(cfg.Seed, seedURNG, i, nr.Crashes), nil, boxM, i), j)
+				if rerr != nil {
+					violate("node %d crash %d: %v", i, nr.Crashes, rerr)
+					return
+				}
+				if cerr := recovered.Configure(1, 0, 16); cerr != nil {
+					violate("node %d crash %d: %v", i, nr.Crashes, cerr)
+					return
+				}
+				box = recovered
+				agent = node.NewReportAgent(box, links[i].NodeEnd(), agentCfg)
+				if agent.NextSeq() != uint64(r)+1 {
+					violate("node %d crash %d: NextSeq %d, want %d", i, nr.Crashes, agent.NextSeq(), r+1)
+				}
+			}
+
+			for !delivered {
+				if ctx.Err() != nil {
+					violate("node %d seq %d: undelivered at deadline", i, r)
+					return
+				}
+				nr.Redeliveries++
+				if err := agent.Resume(ctx); err == nil {
+					delivered = true
+				}
+			}
+		}
+
+		nr.Released = releasesOf(box)
+		nr.SpendNats = cfg.Budget - box.BudgetRemaining()
+
+		// Crash-consistency cross-check: replaying the journal
+		// must agree with the live ledger.
+		st, err := j.Replay()
+		if err != nil {
+			violate("node %d: journal replay: %v", i, err)
+			return
+		}
+		if live := int64(math.Round((cfg.Budget - nr.SpendNats) * 16)); st.Units != live {
+			violate("node %d: journal units %d != live units %d", i, st.Units, live)
+		}
+
+		// Odometer-vs-ledger cross-check: both sum the same
+		// charges (exact multiples of 1/16 nat), so they must
+		// agree to the micronat.
+		if boxM != nil {
+			if got, want := boxM.Odometer.SpentMicro(i), obs.MicroNats(nr.SpendNats); got != want {
+				violate("node %d: odometer %d µnat != ledger spend %d µnat", i, got, want)
+			}
+		}
 	}
+
+	// Bounded worker pool: goroutine-per-node tops out around the race
+	// detector's goroutine budget (and thrashes the scheduler) long
+	// before the collector saturates; a fixed pool runs 10k-node
+	// fleets with a few dozen goroutines.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8 * runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Nodes {
+		workers = cfg.Nodes
+	}
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runNode(i)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 
 	// Aggregate odometer bound: the whole fleet's spend must sit under

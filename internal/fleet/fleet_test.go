@@ -5,8 +5,10 @@ import (
 	"os"
 	"strconv"
 	"testing"
+	"time"
 
 	"ulpdp/internal/fault"
+	"ulpdp/internal/obs"
 )
 
 // gridSeed is the chaos grid's master seed; CI sweeps it through the
@@ -87,6 +89,64 @@ func TestChaosGrid(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestFleetScale10k is the sharded datapath's scale point: ten
+// thousand complete nodes — journaled DP-Box, real agent, own lossy
+// link — through one collector, under the race detector, with every
+// fleet invariant still held: exactly-once accounting, bit-exact
+// chaos-transparency against the lossless same-seed baseline, and the
+// live n·ε odometer envelope. The goroutine-per-node fleet could not
+// even start this under -race (~8k goroutine budget); the worker pool
+// plus event-driven ingest make it routine.
+func TestFleetScale10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node scale point is not a -short test")
+	}
+	const nodes = 10000
+	base := Config{
+		Nodes:            nodes,
+		Reports:          2,
+		Seed:             gridSeed(t),
+		Workers:          256,
+		BreakerThreshold: 1 << 20,
+		Deadline:         10 * time.Minute,
+	}
+
+	baseline, err := Run(base)
+	if err != nil {
+		t.Fatalf("lossless baseline: %v", err)
+	}
+	if len(baseline.Violations) != 0 {
+		t.Fatalf("baseline violations (showing up to 5): %v", head(baseline.Violations, 5))
+	}
+	if baseline.Aggregate.Reports != nodes*base.Reports {
+		t.Fatalf("baseline aggregate %+v, want %d reports", baseline.Aggregate, nodes*base.Reports)
+	}
+
+	cfg := base
+	cfg.Link = fault.LinkProfile{Drop: 0.1, Duplicate: 0.05, Reorder: 0.1, MaxDelay: 2}
+	cfg.Obs = obs.NewRegistry() // live odometer envelope on the chaos leg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations (showing up to 5): %v", head(res.Violations, 5))
+	}
+	if diffs := CompareRuns(res, baseline); len(diffs) != 0 {
+		t.Fatalf("chaos run diverged from lossless baseline: %v", head(diffs, 5))
+	}
+	if res.Link.Dropped == 0 || res.Link.Duplicated == 0 {
+		t.Fatalf("chaos profile did nothing: %+v", res.Link)
+	}
+}
+
+func head(v []string, n int) []string {
+	if len(v) > n {
+		return v[:n]
+	}
+	return v
 }
 
 // TestCrashScheduleChargesOnce pins the crash axis specifically: with

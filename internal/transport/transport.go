@@ -19,9 +19,11 @@
 package transport
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ulpdp/internal/fault"
@@ -71,6 +73,14 @@ type Packet struct {
 // kind(1) flags(1) node(2) seq(8) value(8) checksum(2).
 const frameLen = 22
 
+// frame is one wire buffer. Frames are pooled: Send draws from
+// framePool, ownership travels through the receive queue, and the
+// receiving end returns the buffer after decoding — the steady-state
+// per-frame path allocates nothing.
+type frame [frameLen]byte
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
 // ErrCorrupt reports a frame whose checksum does not match: bits were
 // flipped in flight and the frame must be discarded.
 var ErrCorrupt = errors.New("transport: corrupt frame")
@@ -79,30 +89,46 @@ var ErrCorrupt = errors.New("transport: corrupt frame")
 // classic serial-link integrity check — cheap enough for a radio MCU
 // and it catches all single-bit flips).
 func fletcher16(b []byte) uint16 {
-	var s1, s2 uint16
-	for _, x := range b {
-		s1 = (s1 + uint16(x)) % 255
-		s2 = (s2 + s1) % 255
+	// Deferred-modulo Fletcher: accumulate in 32-bit registers and
+	// reduce once per block instead of twice per byte. s2 grows at
+	// most n(n+1)/2·255 per block, so 4096-byte blocks cannot
+	// overflow uint32; the congruence (and thus the checksum) is
+	// identical to the byte-at-a-time form.
+	var s1, s2 uint32
+	for len(b) > 0 {
+		n := len(b)
+		if n > 4096 {
+			n = 4096
+		}
+		for _, x := range b[:n] {
+			s1 += uint32(x)
+			s2 += s1
+		}
+		s1 %= 255
+		s2 %= 255
+		b = b[n:]
 	}
-	return s2<<8 | s1
+	return uint16(s2)<<8 | uint16(s1)
+}
+
+// marshalInto encodes a packet into a pooled wire buffer. The layout
+// is little-endian throughout, so the multi-byte fields compile to
+// single stores.
+func marshalInto(p Packet, b *frame) {
+	b[0] = byte(p.Kind)
+	b[1] = p.Flags
+	binary.LittleEndian.PutUint16(b[2:4], uint16(p.Node))
+	binary.LittleEndian.PutUint64(b[4:12], p.Seq)
+	binary.LittleEndian.PutUint64(b[12:20], uint64(p.Value))
+	sum := fletcher16(b[:frameLen-2])
+	binary.LittleEndian.PutUint16(b[frameLen-2:frameLen], sum)
 }
 
 // Marshal encodes a packet into a fresh frame.
 func Marshal(p Packet) []byte {
-	b := make([]byte, frameLen)
-	b[0] = byte(p.Kind)
-	b[1] = p.Flags
-	b[2], b[3] = byte(p.Node), byte(p.Node>>8)
-	for i := 0; i < 8; i++ {
-		b[4+i] = byte(p.Seq >> (8 * i))
-	}
-	u := uint64(p.Value)
-	for i := 0; i < 8; i++ {
-		b[12+i] = byte(u >> (8 * i))
-	}
-	sum := fletcher16(b[:frameLen-2])
-	b[frameLen-2], b[frameLen-1] = byte(sum), byte(sum>>8)
-	return b
+	var f frame
+	marshalInto(p, &f)
+	return append([]byte(nil), f[:]...)
 }
 
 // Unmarshal decodes a frame, verifying length and checksum.
@@ -110,22 +136,16 @@ func Unmarshal(b []byte) (Packet, error) {
 	if len(b) != frameLen {
 		return Packet{}, fmt.Errorf("transport: frame length %d, want %d: %w", len(b), frameLen, ErrCorrupt)
 	}
-	sum := uint16(b[frameLen-2]) | uint16(b[frameLen-1])<<8
+	sum := binary.LittleEndian.Uint16(b[frameLen-2 : frameLen])
 	if fletcher16(b[:frameLen-2]) != sum {
 		return Packet{}, ErrCorrupt
 	}
 	var p Packet
 	p.Kind = Kind(b[0])
 	p.Flags = b[1]
-	p.Node = NodeID(uint16(b[2]) | uint16(b[3])<<8)
-	for i := 0; i < 8; i++ {
-		p.Seq |= uint64(b[4+i]) << (8 * i)
-	}
-	var u uint64
-	for i := 0; i < 8; i++ {
-		u |= uint64(b[12+i]) << (8 * i)
-	}
-	p.Value = int64(u)
+	p.Node = NodeID(binary.LittleEndian.Uint16(b[2:4]))
+	p.Seq = binary.LittleEndian.Uint64(b[4:12])
+	p.Value = int64(binary.LittleEndian.Uint64(b[12:20]))
 	if p.Kind != KindReport && p.Kind != KindAck {
 		return Packet{}, fmt.Errorf("transport: unknown frame kind %d: %w", b[0], ErrCorrupt)
 	}
@@ -168,15 +188,52 @@ type LinkConfig struct {
 
 // held is a frame waiting out its reorder delay.
 type held struct {
-	frame     []byte
+	frame     *frame
 	remaining int
 }
 
-// pipe is one direction of the link.
+// pipe is one direction of the link. Queued frames live in a bounded
+// ring under mu — not a channel — so the event-driven receive path
+// (TryRecv from the collector's reactor) is one mutexed pointer pop
+// with no channel machinery. Blocking receivers announce themselves
+// in waiters and park on the bell, which senders ring only on an
+// empty→nonempty transition with a waiter present.
 type pipe struct {
 	mu   sync.Mutex
 	held []held
-	ch   chan []byte
+
+	buf  []*frame // bounded receive ring
+	head int      // buf[head] is the next frame out
+	n    int      // frames queued
+
+	waiters atomic.Int32  // blocked Recv calls
+	bell    chan struct{} // cap-1 doorbell for those waiters
+
+	// notify, when set, is fired (outside mu) after one or more frames
+	// land in the ring: the receiving end's readiness hook. See
+	// Endpoint.SetNotify.
+	notify func()
+}
+
+// popLocked removes and returns the oldest queued frame (nil when
+// empty). Callers hold mu.
+func (p *pipe) popLocked() *frame {
+	if p.n == 0 {
+		return nil
+	}
+	f := p.buf[p.head]
+	p.buf[p.head] = nil
+	p.head = (p.head + 1) % len(p.buf)
+	p.n--
+	return f
+}
+
+// linkStats is the Stats schema with atomic fields: the per-frame
+// hot path bumps counters without a shared mutex (four lock/unlock
+// pairs per ACKed report on the old guarded struct).
+type linkStats struct {
+	sent, delivered, dropped, duplicated     atomic.Uint64
+	reordered, corrupted, overflow, rejected atomic.Uint64
 }
 
 // Link is a bidirectional lossy hop between one node and the
@@ -187,9 +244,7 @@ type Link struct {
 	obs   *Metrics
 	up    *pipe
 	down  *pipe
-
-	statMu sync.Mutex
-	stats  Stats
+	stats linkStats
 }
 
 // NewLink builds a link.
@@ -201,22 +256,25 @@ func NewLink(cfg LinkConfig) *Link {
 	return &Link{
 		plane: cfg.Plane,
 		obs:   cfg.Obs,
-		up:    &pipe{ch: make(chan []byte, cap)},
-		down:  &pipe{ch: make(chan []byte, cap)},
+		up:    &pipe{buf: make([]*frame, cap), bell: make(chan struct{}, 1)},
+		down:  &pipe{buf: make([]*frame, cap), bell: make(chan struct{}, 1)},
 	}
 }
 
-// Stats returns a snapshot of the link counters.
+// Stats returns a snapshot of the link counters. Each counter is
+// read atomically; the snapshot as a whole is not a single instant,
+// which only matters while frames are still in flight.
 func (l *Link) Stats() Stats {
-	l.statMu.Lock()
-	defer l.statMu.Unlock()
-	return l.stats
-}
-
-func (l *Link) count(f func(*Stats)) {
-	l.statMu.Lock()
-	f(&l.stats)
-	l.statMu.Unlock()
+	return Stats{
+		Sent:              l.stats.sent.Load(),
+		Delivered:         l.stats.delivered.Load(),
+		Dropped:           l.stats.dropped.Load(),
+		Duplicated:        l.stats.duplicated.Load(),
+		Reordered:         l.stats.reordered.Load(),
+		CorruptedInFlight: l.stats.corrupted.Load(),
+		Overflow:          l.stats.overflow.Load(),
+		RejectedCorrupt:   l.stats.rejected.Load(),
+	}
 }
 
 // Endpoint is one end of a link. The node end sends up and receives
@@ -240,25 +298,44 @@ func (l *Link) CollectorEnd() *Endpoint {
 	return &Endpoint{link: l, sendPipe: l.down, recvPipe: l.up, sendDir: fault.DirDown}
 }
 
+// SetNotify installs a readiness hook on this end's receive
+// direction: fn fires after one or more frames land in the receive
+// queue (at most once per Send or flush, however many frames it
+// delivered). The collector's reactor uses this to replace per-node
+// busy-polling — it only touches links that announced pending frames.
+//
+// fn runs on the *sender's* goroutine (or whichever goroutine flushed
+// holdbacks) and must be non-blocking and must not call back into
+// this endpoint; the canonical implementation sets an atomic "armed"
+// bit and does a non-blocking channel send. Passing nil removes the
+// hook.
+func (e *Endpoint) SetNotify(fn func()) {
+	p := e.recvPipe
+	p.mu.Lock()
+	p.notify = fn
+	p.mu.Unlock()
+}
+
 // Send offers one packet to the air. It never blocks and reports
 // nothing about delivery — drops, duplication, reordering, corruption
 // and queue overflow all look identical from the sender's side, which
 // is exactly why the protocol above must retransmit until ACKed.
 func (e *Endpoint) Send(p Packet) {
 	l := e.link
-	frame := Marshal(p)
-	l.count(func(s *Stats) { s.Sent++ })
+	buf := framePool.Get().(*frame)
+	marshalInto(p, buf)
+	l.stats.sent.Add(1)
 	if m := l.obs; m != nil {
 		m.Sent.Inc()
 	}
 
 	var fate fault.PacketFate
 	if l.plane != nil {
-		fate = l.plane.PerturbPacket(e.sendDir, frame)
+		fate = l.plane.PerturbPacket(e.sendDir, buf[:])
 	}
 	if fate.Corrupt {
-		frame[(fate.FlipBit/8)%frameLen] ^= 1 << (fate.FlipBit % 8)
-		l.count(func(s *Stats) { s.CorruptedInFlight++ })
+		buf[(fate.FlipBit/8)%frameLen] ^= 1 << (fate.FlipBit % 8)
+		l.stats.corrupted.Add(1)
 		if m := l.obs; m != nil {
 			m.Corrupted.Inc()
 		}
@@ -268,77 +345,112 @@ func (e *Endpoint) Send(p Packet) {
 	p2.mu.Lock()
 	// Every send ages the holdbacks; expired frames deliver first so
 	// a delayed frame lands behind at most Delay successors.
-	e.ageHeldLocked(p2)
+	landed := e.ageHeldLocked(p2)
 	if fate.Drop {
+		fn := p2.notify
 		p2.mu.Unlock()
-		l.count(func(s *Stats) { s.Dropped++ })
+		framePool.Put(buf)
+		l.stats.dropped.Add(1)
 		if m := l.obs; m != nil {
 			m.Dropped.Inc()
+		}
+		if landed > 0 && fn != nil {
+			fn()
 		}
 		return
 	}
 	if fate.Delay > 0 {
-		p2.held = append(p2.held, held{frame: frame, remaining: fate.Delay})
-		l.count(func(s *Stats) { s.Reordered++ })
+		p2.held = append(p2.held, held{frame: buf, remaining: fate.Delay})
+		l.stats.reordered.Add(1)
 		if m := l.obs; m != nil {
 			m.Reordered.Inc()
 		}
 	} else {
-		e.enqueueLocked(p2, frame)
+		landed += e.enqueueLocked(p2, buf)
 	}
 	for i := 0; i < fate.Duplicates; i++ {
-		e.enqueueLocked(p2, append([]byte(nil), frame...))
-		l.count(func(s *Stats) { s.Duplicated++ })
+		d := framePool.Get().(*frame)
+		*d = *buf
+		landed += e.enqueueLocked(p2, d)
+		l.stats.duplicated.Add(1)
 		if m := l.obs; m != nil {
 			m.Duplicated.Inc()
 		}
 	}
+	fn := p2.notify
 	p2.mu.Unlock()
+	if landed > 0 && fn != nil {
+		fn()
+	}
 }
 
 // ageHeldLocked decrements reorder holds and delivers the expired
-// ones. Callers hold p.mu.
-func (e *Endpoint) ageHeldLocked(p *pipe) {
+// ones, reporting how many landed. Callers hold p.mu.
+func (e *Endpoint) ageHeldLocked(p *pipe) int {
+	landed := 0
 	kept := p.held[:0]
 	for _, h := range p.held {
 		h.remaining--
 		if h.remaining <= 0 {
-			e.enqueueLocked(p, h.frame)
+			landed += e.enqueueLocked(p, h.frame)
 		} else {
 			kept = append(kept, h)
 		}
 	}
 	p.held = kept
+	return landed
 }
 
-// enqueueLocked pushes a frame into the receive queue, dropping on
-// overflow (bounded queue backpressure). Callers hold p.mu.
-func (e *Endpoint) enqueueLocked(p *pipe, frame []byte) {
-	select {
-	case p.ch <- frame:
-		e.link.count(func(s *Stats) { s.Delivered++ })
-		if m := e.link.obs; m != nil {
-			m.Delivered.Inc()
-		}
-	default:
-		e.link.count(func(s *Stats) { s.Overflow++ })
+// enqueueLocked pushes a frame into the receive ring, dropping on
+// overflow (bounded queue backpressure), and reports 1 if the frame
+// landed. The bell rings only when the ring turns nonempty with a
+// blocked Recv present — the event-driven path pays no doorbell cost.
+// Callers hold p.mu.
+func (e *Endpoint) enqueueLocked(p *pipe, f *frame) int {
+	if p.n == len(p.buf) {
+		framePool.Put(f)
+		e.link.stats.overflow.Add(1)
 		if m := e.link.obs; m != nil {
 			m.Overflow.Inc()
 		}
+		return 0
 	}
+	p.buf[(p.head+p.n)%len(p.buf)] = f
+	p.n++
+	e.link.stats.delivered.Add(1)
+	if m := e.link.obs; m != nil {
+		m.Delivered.Inc()
+	}
+	if p.n == 1 && p.waiters.Load() != 0 {
+		select {
+		case p.bell <- struct{}{}:
+		default:
+		}
+	}
+	return 1
 }
 
-// flushHeld releases every holdback immediately: the direction has
-// drained, so "wait for later frames" can no longer complete and the
-// delayed frames simply arrive late.
+// FlushHeld releases every holdback on this end's receive direction
+// immediately: the direction has drained, so "wait for later frames"
+// can no longer complete and the delayed frames simply arrive late.
+// Recv does this implicitly at its deadline; event-driven receivers
+// (which never block in Recv) call it from their idle tick so a
+// reorder holdback on a now-silent link is late, never lost.
+func (e *Endpoint) FlushHeld() { e.flushHeld() }
+
 func (e *Endpoint) flushHeld() {
 	p := e.recvPipe
 	p.mu.Lock()
+	landed := 0
 	for _, h := range p.held {
-		e.enqueueLocked(p, h.frame)
+		landed += e.enqueueLocked(p, h.frame)
 	}
 	p.held = nil
+	fn := p.notify
 	p.mu.Unlock()
+	if landed > 0 && fn != nil {
+		fn()
+	}
 }
 
 // Recv waits up to timeout for the next valid frame on this end.
@@ -348,20 +460,25 @@ func (e *Endpoint) flushHeld() {
 // still held back for reordering are flushed and collected — a delayed
 // frame is late, never lost.
 func (e *Endpoint) Recv(timeout time.Duration) (Packet, bool) {
+	if p, ok := e.TryRecv(); ok {
+		return p, true
+	}
+	pi := e.recvPipe
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
+	// Announce the wait before the re-check: a sender that enqueued
+	// after our TryRecv either sees waiters != 0 and rings the bell,
+	// or enqueued before the re-check sees its frame. Stale bell
+	// tokens from past waits only cause one spurious loop.
+	pi.waiters.Add(1)
+	defer pi.waiters.Add(-1)
 	for {
-		select {
-		case frame := <-e.recvPipe.ch:
-			p, err := Unmarshal(frame)
-			if err != nil {
-				e.link.count(func(s *Stats) { s.RejectedCorrupt++ })
-				if m := e.link.obs; m != nil {
-					m.RejectedCorrupt.Inc()
-				}
-				continue
-			}
+		if p, ok := e.TryRecv(); ok {
 			return p, true
+		}
+		select {
+		case <-pi.bell:
+			// The ring went nonempty at some point; re-check.
 		case <-deadline.C:
 			// Last chance: release holdbacks and drain what is
 			// already queued. Never re-enter the select here — the
@@ -375,20 +492,31 @@ func (e *Endpoint) Recv(timeout time.Duration) (Packet, bool) {
 // TryRecv is Recv without waiting: it drains at most the frames
 // already queued.
 func (e *Endpoint) TryRecv() (Packet, bool) {
+	pi := e.recvPipe
 	for {
-		select {
-		case frame := <-e.recvPipe.ch:
-			p, err := Unmarshal(frame)
-			if err != nil {
-				e.link.count(func(s *Stats) { s.RejectedCorrupt++ })
-				if m := e.link.obs; m != nil {
-					m.RejectedCorrupt.Inc()
-				}
-				continue
-			}
-			return p, true
-		default:
+		pi.mu.Lock()
+		f := pi.popLocked()
+		pi.mu.Unlock()
+		if f == nil {
 			return Packet{}, false
 		}
+		if p, ok := e.decode(f); ok {
+			return p, true
+		}
 	}
+}
+
+// decode unmarshals a received frame and returns its buffer to the
+// pool; corrupt frames are counted and reported as !ok.
+func (e *Endpoint) decode(f *frame) (Packet, bool) {
+	p, err := Unmarshal(f[:])
+	framePool.Put(f)
+	if err != nil {
+		e.link.stats.rejected.Add(1)
+		if m := e.link.obs; m != nil {
+			m.RejectedCorrupt.Inc()
+		}
+		return Packet{}, false
+	}
+	return p, true
 }
