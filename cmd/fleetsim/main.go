@@ -10,14 +10,22 @@
 //
 //	fleetsim [-quick] [-nodes N] [-reports N] [-seed N]
 //	         [-drop P] [-dup P] [-reorder P] [-corrupt P] [-maxdelay N]
-//	         [-crash-every N] [-workers N] [-shards N] [-deadline D]
+//	         [-crash-every N] [-collectorcrash W1,W2,...] [-durable]
+//	         [-workers N] [-shards N] [-deadline D]
 //	         [-metrics] [-debug ADDR] [-v]
 //
+// -durable runs the collector on a durable checkpoint store, and
+// -collectorcrash (which implies -durable) kills the store's power at
+// each listed cumulative checkpoint word-write count: the harness then
+// recovers the collector from its shard checkpoints mid-run, and the
+// invariants must hold across the restarts.
+//
 // -quick is the CI smoke preset: a small fleet under a filthy link
-// with crash-recovery every second report. It only fills in flags the
-// command line left at their defaults, so it composes with explicit
-// overrides — `fleetsim -quick -nodes 10000` is the scale smoke: the
-// quick chaos profile over ten thousand nodes.
+// with node crash-recovery every second report and one mid-run
+// collector crash. It only fills in flags the command line left at
+// their defaults, so it composes with explicit overrides — `fleetsim
+// -quick -nodes 10000` is the scale smoke: the quick chaos profile
+// over ten thousand nodes.
 //
 // -metrics attaches the telemetry plane to the chaos run — the
 // privacy odometer is then asserted live against the certified n·ε
@@ -33,6 +41,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
 
 	"ulpdp/internal/fault"
 	"ulpdp/internal/fleet"
@@ -54,6 +64,8 @@ func run() int {
 	corrupt := flag.Float64("corrupt", 0.05, "per-frame corruption probability")
 	maxDelay := flag.Int("maxdelay", 3, "max reorder holdback in frames")
 	crashEvery := flag.Int("crash-every", 0, "crash-recover each node after every k-th report (0 = never)")
+	durable := flag.Bool("durable", false, "run the collector on a durable checkpoint store")
+	collectorCrash := flag.String("collectorcrash", "", "comma-separated checkpoint word-write counts at which the collector crashes and recovers (implies -durable)")
 	workers := flag.Int("workers", 0, "node worker-pool size (0 = 8x GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "collector ingest shards (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "wall-clock ceiling for each fleet run (0 = library default)")
@@ -85,16 +97,30 @@ func run() int {
 		presetF("dup", dup, 0.2)
 		presetF("reorder", reorder, 0.2)
 		presetF("corrupt", corrupt, 0.1)
+		if !set["collectorcrash"] {
+			// One mid-run collector crash: word 100 lands inside the
+			// admission WAL for any 4x4 fleet (16 admissions x 16
+			// words), so the smoke exercises recovery every time.
+			*collectorCrash = "100"
+		}
+	}
+
+	crashSchedule, err := parseSchedule(*collectorCrash)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim: -collectorcrash:", err)
+		return 2
 	}
 
 	cfg := fleet.Config{
-		Nodes:      *nodes,
-		Reports:    *reports,
-		Seed:       *seed,
-		CrashEvery: *crashEvery,
-		Workers:    *workers,
-		Shards:     *shards,
-		Deadline:   *deadline,
+		Nodes:            *nodes,
+		Reports:          *reports,
+		Seed:             *seed,
+		CrashEvery:       *crashEvery,
+		Workers:          *workers,
+		Shards:           *shards,
+		Deadline:         *deadline,
+		Durable:          *durable || len(crashSchedule) > 0,
+		CollectorCrashes: crashSchedule,
 		Link: fault.LinkProfile{
 			Drop: *drop, Duplicate: *dup, Reorder: *reorder,
 			Corrupt: *corrupt, MaxDelay: *maxDelay,
@@ -116,9 +142,10 @@ func run() int {
 		fmt.Printf("fleetsim: serving /debug/vars and /debug/pprof on %s\n", *debugAddr)
 	}
 
-	fmt.Printf("fleetsim: %d nodes x %d reports, seed %d, link{drop %.2f dup %.2f reorder %.2f corrupt %.2f delay<=%d}, crash-every %d\n",
+	fmt.Printf("fleetsim: %d nodes x %d reports, seed %d, link{drop %.2f dup %.2f reorder %.2f corrupt %.2f delay<=%d}, crash-every %d, durable %v, collector-crashes %v\n",
 		cfg.Nodes, cfg.Reports, cfg.Seed, cfg.Link.Drop, cfg.Link.Duplicate,
-		cfg.Link.Reorder, cfg.Link.Corrupt, cfg.Link.MaxDelay, cfg.CrashEvery)
+		cfg.Link.Reorder, cfg.Link.Corrupt, cfg.Link.MaxDelay, cfg.CrashEvery,
+		cfg.Durable, cfg.CollectorCrashes)
 
 	chaos, err := fleet.Run(cfg)
 	if err != nil {
@@ -129,6 +156,9 @@ func run() int {
 
 	lossless := cfg
 	lossless.Link = fault.LinkProfile{}
+	// The baseline is the reference: no link chaos and no collector
+	// crashes (the chaos run with restarts must still converge to it).
+	lossless.CollectorCrashes = nil
 	// The baseline gets no plane: reusing the chaos run's registry
 	// would double-charge the odometer channels.
 	lossless.Obs = nil
@@ -176,13 +206,38 @@ func run() int {
 	return 0
 }
 
+// parseSchedule parses the -collectorcrash flag: a comma-separated,
+// strictly ascending list of non-negative word-write counts.
+func parseSchedule(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad word count %q: %v", p, err)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("negative word count %d", w)
+		}
+		if len(out) > 0 && w <= out[len(out)-1] {
+			return nil, fmt.Errorf("schedule must be strictly ascending at %d", w)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
 func printRun(name string, r fleet.Result, verbose bool) {
-	fmt.Printf("%s: aggregate %d reports over %d nodes, sum %d; link{sent %d dropped %d dup %d reordered %d corrupt %d overflow %d}; collector{accepted %d dup %d shed %d breaker-drops %d}\n",
+	fmt.Printf("%s: aggregate %d reports over %d nodes, sum %d; link{sent %d dropped %d dup %d reordered %d corrupt %d overflow %d}; collector{accepted %d dup %d shed %d breaker-drops %d fail-closed %d recoveries %d checkpoint-words %d}\n",
 		name, r.Aggregate.Reports, r.Aggregate.Nodes, r.Aggregate.Sum,
 		r.Link.Sent, r.Link.Dropped, r.Link.Duplicated, r.Link.Reordered,
 		r.Link.CorruptedInFlight, r.Link.Overflow,
 		r.Collector.Accepted, r.Collector.Duplicates, r.Collector.Backpressure,
-		r.Collector.BreakerDrops)
+		r.Collector.BreakerDrops, r.Collector.FailClosed,
+		r.CollectorRecoveries, r.CheckpointWords)
 	if !verbose {
 		return
 	}

@@ -15,12 +15,22 @@ import (
 // never lets more than maxInFlight reports be outstanding, so the
 // bounded link queues (cap 256) cannot overflow and every report is
 // accepted exactly once.
-func benchIngest(b *testing.B, nodes int) {
+func benchIngest(b *testing.B, nodes int, durable bool) {
 	const maxInFlight = 4096
-	col := New(Config{
+	cfg := Config{
 		BreakerThreshold: 1 << 30,
 		PollTimeout:      time.Hour, // no idle ticks in the hot-path measurement
-	})
+	}
+	var col *Collector
+	if durable {
+		var err error
+		col, err = NewDurable(cfg, NewStore(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		col = New(cfg)
+	}
 	defer col.Close()
 
 	ends := make([]*transport.Endpoint, nodes)
@@ -80,7 +90,20 @@ func benchIngest(b *testing.B, nodes int) {
 func BenchmarkCollectorIngest(b *testing.B) {
 	for _, nodes := range []int{64, 1024} {
 		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
-			benchIngest(b, nodes)
+			benchIngest(b, nodes, false)
+		})
+	}
+}
+
+// BenchmarkCollectorIngestDurable is the same measurement with shard
+// checkpoint journaling on (two-phase admission WAL plus periodic
+// snapshot compaction). Bank growth is amortized append and compaction
+// cost is spread over CompactEvery admissions, so steady-state durable
+// ingest must also hold 0 allocs/op.
+func BenchmarkCollectorIngestDurable(b *testing.B) {
+	for _, nodes := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			benchIngest(b, nodes, true)
 		})
 	}
 }

@@ -38,6 +38,7 @@
 package collector
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -96,6 +97,11 @@ type Config struct {
 	// OpenTicks is how many idle ticks an open breaker waits before
 	// half-opening to probe (default 4).
 	OpenTicks int
+	// CompactEvery is how many journaled admissions a shard absorbs
+	// before compacting its checkpoint into a fresh snapshot (default
+	// 4096; only meaningful with a durable Store attached via
+	// NewDurable or Recover).
+	CompactEvery int
 	// Obs is an optional telemetry plane. Nil costs one nil check per
 	// event.
 	Obs *Metrics
@@ -123,6 +129,12 @@ type Stats struct {
 	// Timeouts counts per-node idle ticks (a node delivering nothing
 	// for one PollTimeout period).
 	Timeouts uint64
+	// FailClosed counts reports dropped unACKed because the shard's
+	// checkpoint journal lost power: with no way to make an admission
+	// durable, the shard stops ACKing entirely (the fail-closed rule
+	// inherited from the DP-Box budget ledger) and the nodes' retry
+	// loops carry the reports across the restart.
+	FailClosed uint64
 }
 
 func (s *Stats) add(o Stats) {
@@ -131,6 +143,7 @@ func (s *Stats) add(o Stats) {
 	s.Backpressure += o.Backpressure
 	s.BreakerDrops += o.BreakerDrops
 	s.Timeouts += o.Timeouts
+	s.FailClosed += o.FailClosed
 }
 
 // denseLimit bounds the flat per-node value slice: sequence numbers
@@ -289,18 +302,64 @@ type shard struct {
 	// steady-state per-report path allocates nothing.
 	spare []transport.NodeID
 	acks  []ackOut
+
+	// j is the shard's durable checkpoint journal (nil = volatile
+	// collector). dead latches once a journal write fails: the shard
+	// then drops all traffic unACKed, fail closed, because it can no
+	// longer promise an ACKed report survives a restart. sinceCompact
+	// counts admissions journaled since the last snapshot.
+	j            *Journal
+	dead         bool
+	sinceCompact int
 }
 
 // Collector ingests, dedups, ACKs, and aggregates fleet reports.
 type Collector struct {
 	cfg    Config
+	store  *Store
 	shards []*shard
 	stop   chan struct{}
 	wg     sync.WaitGroup
 }
 
-// New starts a collector (its shard reactors run until Close).
+// New starts a volatile collector (its shard reactors run until
+// Close): dedup state lives purely in memory and dies with the
+// process. Use NewDurable to add crash-consistent checkpointing, and
+// Recover to rebuild from a store after a crash.
 func New(cfg Config) *Collector {
+	c, err := build(cfg, nil, nil)
+	if err != nil {
+		// build only fails on store problems; there is no store.
+		panic(err)
+	}
+	return c
+}
+
+// NewDurable starts a collector whose shards journal every admission
+// to the store before ACKing it. The store must be fresh (never
+// written); a store holding prior state is a crashed collector's and
+// must go through Recover — silently reseeding it would erase ACKed
+// reports.
+func NewDurable(cfg Config, store *Store) (*Collector, error) {
+	if store == nil {
+		return nil, errors.New("collector: NewDurable requires a store")
+	}
+	if !store.empty() {
+		return nil, errors.New("collector: store holds prior state; use Recover")
+	}
+	for i, j := range store.shards {
+		if !j.seed() {
+			return nil, fmt.Errorf("collector: seeding shard %d checkpoint: store power lost", i)
+		}
+	}
+	return build(cfg, store, nil)
+}
+
+// build assembles a collector, optionally durable (store non-nil) and
+// optionally from recovered shard states (rec non-nil, indexed by
+// shard; recovered nodes start with no endpoint until Attach binds
+// one).
+func build(cfg Config, store *Store, rec []*shardState) (*Collector, error) {
 	if cfg.PollTimeout <= 0 {
 		cfg.PollTimeout = 2 * time.Millisecond
 	}
@@ -310,14 +369,24 @@ func New(cfg Config) *Collector {
 	if cfg.Shards > 1024 {
 		cfg.Shards = 1024
 	}
+	if store != nil {
+		// The node→shard hash depends on the shard count, and each
+		// shard's journal holds exactly its own nodes: the store's
+		// geometry wins.
+		cfg.Shards = store.Shards()
+	}
 	if cfg.BreakerThreshold <= 0 {
 		cfg.BreakerThreshold = 8
 	}
 	if cfg.OpenTicks <= 0 {
 		cfg.OpenTicks = 4
 	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 4096
+	}
 	c := &Collector{
 		cfg:    cfg,
+		store:  store,
 		shards: make([]*shard, cfg.Shards),
 		stop:   make(chan struct{}),
 	}
@@ -327,11 +396,85 @@ func New(cfg Config) *Collector {
 			nodes: make(map[transport.NodeID]*nodeState),
 			wake:  make(chan struct{}, 1),
 		}
+		if store != nil {
+			sh.j = store.Shard(i)
+		}
+		if rec != nil && rec[i] != nil {
+			sh.adopt(rec[i])
+		}
 		c.shards[i] = sh
+	}
+	for _, sh := range c.shards {
 		c.wg.Add(1)
 		go sh.run()
 	}
-	return c
+	return c, nil
+}
+
+// adopt installs a replayed shard state: every recovered node
+// materializes with its dedup store, last-ACK cache, and breaker
+// state, awaiting an Attach to bind its link endpoint.
+func (sh *shard) adopt(st *shardState) {
+	for id := range st.nodes {
+		sh.nodes[transport.NodeID(id)] = &nodeState{}
+	}
+	for id := range st.stores {
+		if sh.nodes[transport.NodeID(id)] == nil {
+			sh.nodes[transport.NodeID(id)] = &nodeState{}
+		}
+	}
+	for id, ns := range sh.nodes {
+		if sn := st.nodes[uint16(id)]; sn != nil {
+			ns.breaker = sn.breaker
+			ns.consecFail = sn.consecFail
+			ns.openLeft = sn.openLeft
+			ns.haveAck = sn.haveAck
+			ns.exhausted = sn.exhausted
+			ns.lastSeq = sn.lastSeq
+			ns.lastValue = sn.lastValue
+		}
+		if vs := st.stores[uint16(id)]; vs != nil {
+			ns.store = *vs
+		}
+	}
+}
+
+// Recover is the collector's secure-boot path after a crash: it
+// revives the store, replays every shard's checkpoint journal,
+// compacts each into a fresh snapshot, and starts a collector whose
+// dedup state is exactly what it had ACKed before the crash. Node
+// endpoints are not durable — re-Attach each node's link, after which
+// retransmissions of already-admitted reports are absorbed as
+// duplicates and re-ACKed bit-exactly. Any shard whose journal is
+// corrupt (beyond an ordinary torn tail) refuses recovery entirely:
+// fail closed, never admit a duplicate.
+func Recover(cfg Config, store *Store) (*Collector, error) {
+	if store == nil {
+		return nil, errors.New("collector: recovery requires a store")
+	}
+	store.Revive()
+	rec := make([]*shardState, store.Shards())
+	replayed := 0
+	for i, j := range store.shards {
+		st, err := j.replay()
+		if err != nil {
+			return nil, fmt.Errorf("collector: shard %d: %w", i, err)
+		}
+		rec[i] = st
+		replayed += st.replayed
+		if !j.compact(st.nodes, st.stores) {
+			return nil, fmt.Errorf("collector: shard %d: compaction failed (store power lost)", i)
+		}
+	}
+	c, err := build(cfg, store, rec)
+	if err != nil {
+		return nil, err
+	}
+	if m := cfg.Obs; m != nil {
+		m.RecoverShards.Add(uint64(store.Shards()))
+		m.RecoverReplayed.Add(uint64(replayed))
+	}
+	return c, nil
 }
 
 // shardFor maps a node to its owning shard: hash(NodeID) % Shards.
@@ -342,16 +485,21 @@ func (c *Collector) shardFor(id transport.NodeID) *shard {
 
 // Attach registers a node's link endpoint with its owning shard and
 // installs the readiness hook. Attaching the same ID twice is an
-// error.
+// error — except onto a crash-recovered node, which exists with its
+// dedup state but no endpoint until Attach binds one.
 func (c *Collector) Attach(id transport.NodeID, end *transport.Endpoint) error {
 	sh := c.shardFor(id)
-	ns := &nodeState{end: end}
 	sh.mu.Lock()
-	if _, dup := sh.nodes[id]; dup {
+	ns := sh.nodes[id]
+	if ns != nil && ns.end != nil {
 		sh.mu.Unlock()
 		return fmt.Errorf("collector: node %d already attached", id)
 	}
-	sh.nodes[id] = ns
+	if ns == nil {
+		ns = &nodeState{}
+		sh.nodes[id] = ns
+	}
+	ns.end = end
 	sh.mu.Unlock()
 
 	end.SetNotify(func() {
@@ -495,12 +643,25 @@ func (sh *shard) drain() bool {
 }
 
 // handleLocked applies breaker policy and dedup for one report and
-// queues its ACK. Callers hold sh.mu.
+// queues its ACK. On a durable collector the admission is journaled
+// (intent → record → commit) before the in-memory record and the ACK,
+// so an ACK always implies a crash-survivable admission. Callers hold
+// sh.mu.
 func (sh *shard) handleLocked(id transport.NodeID, ns *nodeState, pkt transport.Packet) {
+	m := sh.c.cfg.Obs
+	if sh.dead {
+		// The checkpoint journal lost power: nothing this shard admits
+		// can be made durable, so nothing is ACKed — not even
+		// duplicates, whose re-ACK costs nothing but would keep nodes
+		// trusting a collector that can no longer keep its promise.
+		sh.stats.FailClosed++
+		if m != nil {
+			m.FailClosed.Inc()
+		}
+		return
+	}
 	ns.sawReport = true
 	unhealthy := pkt.Flags&transport.FlagUnhealthy != 0
-
-	m := sh.c.cfg.Obs
 	switch ns.breaker {
 	case BreakerOpen:
 		// Cooling off: traffic is discarded unACKed; the node's
@@ -549,6 +710,26 @@ func (sh *shard) handleLocked(id transport.NodeID, ns *nodeState, pkt transport.
 			m.Duplicates.Inc()
 		}
 	} else {
+		if sh.j != nil {
+			var aflags uint16
+			if pkt.Flags&transport.FlagFromCache != 0 {
+				aflags |= admFlagFromCache
+			}
+			if !sh.j.appendAdmission(uint16(id), pkt.Seq, pkt.Value, aflags) {
+				// Torn admission: the commit never landed, so replay
+				// rolls it back — drop unACKed and latch fail-closed.
+				sh.dead = true
+				sh.stats.FailClosed++
+				if m != nil {
+					m.FailClosed.Inc()
+				}
+				return
+			}
+			sh.sinceCompact++
+			if m != nil {
+				m.CheckpointBytes.Add(2 * admissionWords)
+			}
+		}
 		ns.store.put(pkt.Seq, pkt.Value)
 		sh.stats.Accepted++
 		if m != nil {
@@ -561,6 +742,11 @@ func (sh *shard) handleLocked(id transport.NodeID, ns *nodeState, pkt transport.
 		ns.lastValue = ns.store.get(pkt.Seq)
 		ns.exhausted = pkt.Flags&transport.FlagFromCache != 0
 	}
+	// Compact only after the last-ACK cache absorbed this admission,
+	// so the snapshot never trails the state it claims to capture.
+	if sh.j != nil && sh.sinceCompact >= sh.c.cfg.CompactEvery {
+		sh.compactLocked()
+	}
 
 	// ACK after recording (including duplicate re-ACKs: the node may
 	// have missed the first ACK).
@@ -568,6 +754,37 @@ func (sh *shard) handleLocked(id transport.NodeID, ns *nodeState, pkt transport.
 		end: ns.end,
 		pkt: transport.Packet{Kind: transport.KindAck, Node: id, Seq: pkt.Seq},
 	})
+}
+
+// compactLocked rewrites the shard's checkpoint as a fresh snapshot
+// of every node's dedup store, last-ACK cache, and breaker state,
+// double-banked so a crash mid-compaction loses nothing. A compaction
+// that cannot complete (store power lost) latches the shard dead.
+// Callers hold sh.mu.
+func (sh *shard) compactLocked() {
+	nodes := make(map[uint16]*snapNode, len(sh.nodes))
+	stores := make(map[uint16]*valueStore, len(sh.nodes))
+	for id, ns := range sh.nodes {
+		nodes[uint16(id)] = &snapNode{
+			breaker:    ns.breaker,
+			consecFail: ns.consecFail,
+			openLeft:   ns.openLeft,
+			haveAck:    ns.haveAck,
+			exhausted:  ns.exhausted,
+			lastSeq:    ns.lastSeq,
+			lastValue:  ns.lastValue,
+		}
+		stores[uint16(id)] = &ns.store
+	}
+	if !sh.j.compact(nodes, stores) {
+		sh.dead = true
+		return
+	}
+	sh.sinceCompact = 0
+	if m := sh.c.cfg.Obs; m != nil {
+		m.Compactions.Inc()
+		m.CheckpointBytes.Add(uint64(2 * len(sh.j.banks[sh.j.live])))
+	}
 }
 
 // idleTick feeds one silent tick into the breaker of every node that
@@ -580,6 +797,9 @@ func (sh *shard) idleTick() {
 	m := sh.c.cfg.Obs
 	sh.mu.Lock()
 	for id, ns := range sh.nodes {
+		if ns.end == nil {
+			continue // recovered, not yet re-attached: no link to tick
+		}
 		if ns.sawReport {
 			ns.sawReport = false
 			continue

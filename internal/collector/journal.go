@@ -1,0 +1,573 @@
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// This file is the collector's crash-consistency plane: a per-shard
+// durable checkpoint/WAL in the same 16-bit-word NVM model as the
+// DP-Box budget journal (internal/dpbox/journal.go), plus the replay
+// and compaction machinery Collector.Recover builds on.
+//
+// Each shard owns one Journal. An admission — the first time a shard
+// records a (node, seq, value) — is journaled with the two-phase
+// protocol before the report is applied to memory or ACKed:
+//
+//	intent   node + report seq     "I am about to admit (node, seq)"
+//	record   value + flags         the value being bound to it
+//	commit   no payload            seals the admission
+//
+// The three records share a 12-bit pairing sequence number; replay
+// applies an admission only when all three are durable in order. The
+// ACK is sent only after the commit word lands, so "the agent saw an
+// ACK" implies "the admission survives any collector crash" — the
+// exactly-once contract now holds across collector restarts, not just
+// node crashes and lossy links.
+//
+// Compaction is double-banked like real flash. A Journal holds two
+// banks; the live bank starts with a generation-tagged snapshot
+// (snapBegin gen … snapEnd gen) of every node's valueStore bitmap +
+// values + breaker state, followed by the admissions since. Compaction
+// writes gen+1's snapshot into the idle bank and only a durable
+// snapEnd makes it the live bank — a crash mid-compaction leaves the
+// old bank complete and loses nothing. Recovery picks the bank with
+// the highest complete snapshot, replays it plus its admission tail
+// (a torn tail record is indistinguishable from "never written" and
+// is dropped — it was never ACKed), and refuses the shard outright on
+// mid-log corruption, an invalid tag, or a bank with no complete
+// snapshot: fail closed, like budget.Bank on a dead journal, because
+// a silently shortened log would re-admit (double-count) replays of
+// reports it had already ACKed.
+
+// journal record tags (the collector's own tag space; the format
+// mirrors dpbox: hdr = tag<<12 | seq, payload words, xor checksum).
+const (
+	ckTagSnapBegin = 1 // payload gen(4)
+	ckTagSnapNode  = 2 // payload node(1) breaker(1) stateFlags(1) consecFail(1) openLeft(1) lastSeq(4) lastValue(4)
+	ckTagSnapVal   = 3 // payload node(1) seq(4) value(4)
+	ckTagSnapEnd   = 4 // payload gen(4)
+	ckTagIntent    = 5 // payload node(1) seq(4)
+	ckTagRecord    = 6 // payload value(4) flags(1)
+	ckTagCommit    = 7 // no payload
+)
+
+// snapshot stateFlags bits (ckTagSnapNode).
+const (
+	snapFlagHaveAck   = 1 << 0
+	snapFlagExhausted = 1 << 1
+)
+
+// admission flags bits (ckTagRecord): the transport report flags the
+// shard's last-ACK cache depends on.
+const admFlagFromCache = 1 << 0
+
+const ckChkSalt = 0xC011 // distinct salt: a collector record never replays as a dpbox one
+
+// ckPayloadLen returns the payload word count for a tag, or -1 for an
+// unknown tag (which recovery treats as corruption, not truncation).
+func ckPayloadLen(tag uint16) int {
+	switch tag {
+	case ckTagSnapBegin, ckTagSnapEnd:
+		return 4
+	case ckTagSnapNode:
+		return 13
+	case ckTagSnapVal:
+		return 9
+	case ckTagIntent:
+		return 5
+	case ckTagRecord:
+		return 5
+	case ckTagCommit:
+		return 0
+	}
+	return -1
+}
+
+func ckChecksum(hdr uint16, payload []uint16) uint16 {
+	c := hdr ^ uint16(ckChkSalt)
+	for _, w := range payload {
+		c ^= w
+	}
+	return c
+}
+
+func ckEnc64(v int64) [4]uint16 {
+	u := uint64(v)
+	return [4]uint16{uint16(u), uint16(u >> 16), uint16(u >> 32), uint16(u >> 48)}
+}
+
+func ckDec64(w []uint16) int64 {
+	return int64(uint64(w[0]) | uint64(w[1])<<16 | uint64(w[2])<<32 | uint64(w[3])<<48)
+}
+
+// admissionWords is the durable cost of one admission: intent
+// (hdr+5+chk) + record (hdr+5+chk) + commit (hdr+chk).
+const admissionWords = 7 + 7 + 2
+
+// power is the store-wide NVM supply shared by every shard journal: a
+// collector crash takes all shards down between two word writes, so
+// the fail countdown is global, not per shard. Shards journal
+// concurrently and every admission costs 16 permit checks, so the
+// cell is lock-free: with no failure armed (the steady state) a
+// permit is one load and one relaxed counter bump, never a shared
+// mutex across the reactors.
+type power struct {
+	failAfter atomic.Int64 // remaining allowed word writes; -1 = no scheduled failure
+	dead      atomic.Bool
+	writes    atomic.Uint64 // total durable words across every shard and bank
+}
+
+// allow consumes one word-write permit, honouring a scheduled failure.
+func (p *power) allow() bool {
+	if p.dead.Load() {
+		return false
+	}
+	for {
+		n := p.failAfter.Load()
+		if n < 0 {
+			p.writes.Add(1)
+			return true
+		}
+		if n == 0 {
+			p.dead.Store(true)
+			return false
+		}
+		if p.failAfter.CompareAndSwap(n, n-1) {
+			p.writes.Add(1)
+			return true
+		}
+	}
+}
+
+// Journal is one shard's durable checkpoint region: two word banks
+// and a 12-bit record sequence. All mutation happens under the owning
+// shard's lock (or single-threaded recovery); only the power cell is
+// shared.
+type Journal struct {
+	pw    *power
+	banks [2][]uint16
+	live  int    // bank holding the current snapshot + admission tail
+	gen   int64  // generation of the live bank's snapshot
+	seq   uint16 // 12-bit record pairing sequence
+}
+
+// put appends one word to bank b, honouring the store power. It
+// reports whether the word became durable.
+func (j *Journal) put(b int, w uint16) bool {
+	if !j.pw.allow() {
+		return false
+	}
+	j.banks[b] = append(j.banks[b], w)
+	return true
+}
+
+// appendRecord writes hdr, payload and checksum word by word into
+// bank b. False means power failed partway: the tail is torn and the
+// store dead.
+func (j *Journal) appendRecord(b int, tag uint16, payload []uint16) bool {
+	hdr := tag<<12 | (j.seq & 0x0FFF)
+	j.seq++
+	if !j.put(b, hdr) {
+		return false
+	}
+	for _, w := range payload {
+		if !j.put(b, w) {
+			return false
+		}
+	}
+	return j.put(b, ckChecksum(hdr, payload))
+}
+
+// appendAdmission runs the two-phase admission protocol into the live
+// bank: intent, record, commit, all sharing one pairing sequence.
+// Only after it returns true may the shard apply the admission and
+// queue the ACK.
+func (j *Journal) appendAdmission(node uint16, seq uint64, value int64, flags uint16) bool {
+	s := ckEnc64(int64(seq))
+	pair := j.seq
+	if !j.appendRecord(j.live, ckTagIntent, []uint16{node, s[0], s[1], s[2], s[3]}) {
+		return false
+	}
+	v := ckEnc64(value)
+	if !j.appendRecord(j.live, ckTagRecord, []uint16{v[0], v[1], v[2], v[3], flags}) {
+		return false
+	}
+	j.seq = pair // commit reuses the intent's seq for pairing
+	return j.appendRecord(j.live, ckTagCommit, nil)
+}
+
+// snapNode is one node's checkpointed metadata (everything a NodeView
+// needs beyond the valueStore itself).
+type snapNode struct {
+	breaker    BreakerState
+	consecFail int
+	openLeft   int
+	haveAck    bool
+	exhausted  bool
+	lastSeq    uint64
+	lastValue  int64
+}
+
+// shardState is one shard's durable state as reconstructed by replay.
+type shardState struct {
+	gen    int64
+	nodes  map[uint16]*snapNode
+	stores map[uint16]*valueStore
+	// replayed counts admissions applied from the WAL tail (after the
+	// snapshot) — the "work redone" recovery metric.
+	replayed int
+}
+
+func newShardState(gen int64) *shardState {
+	return &shardState{
+		gen:    gen,
+		nodes:  make(map[uint16]*snapNode),
+		stores: make(map[uint16]*valueStore),
+	}
+}
+
+func (st *shardState) node(id uint16) *snapNode {
+	n := st.nodes[id]
+	if n == nil {
+		n = &snapNode{}
+		st.nodes[id] = n
+	}
+	return n
+}
+
+func (st *shardState) store(id uint16) *valueStore {
+	vs := st.stores[id]
+	if vs == nil {
+		vs = &valueStore{}
+		st.stores[id] = vs
+	}
+	return vs
+}
+
+// admit applies one committed (node, seq, value, flags) admission to
+// the replayed state, using the same last-ACK rule as handleLocked so
+// the recovered NodeView is bit-exact.
+func (st *shardState) admit(nodeID uint16, seq uint64, value int64, flags uint16) {
+	vs := st.store(nodeID)
+	if !vs.has(seq) {
+		vs.put(seq, value)
+	}
+	n := st.node(nodeID)
+	if !n.haveAck || seq >= n.lastSeq {
+		n.haveAck = true
+		n.lastSeq = seq
+		n.lastValue = vs.get(seq)
+		n.exhausted = flags&admFlagFromCache != 0
+	}
+}
+
+// errCorruptCheckpoint marks a shard journal recovery refused
+// fail-closed: the log is damaged in a way a torn tail cannot
+// explain, so replaying a prefix could silently re-open (node, seq)
+// slots the collector already ACKed.
+var errCorruptCheckpoint = errors.New("collector: corrupt shard checkpoint")
+
+// replayBank parses one bank. A record truncated at the very end of
+// the bank is a torn write and ends the scan (ok, torn=true); a
+// checksum failure or invalid tag with the full record present — or
+// any structurally impossible sequence — is corruption.
+func (j *Journal) replayBank(b int) (st *shardState, complete bool, err error) {
+	w := j.banks[b]
+	var pendNode uint16
+	var pendSeq uint64
+	var pendPair uint16
+	var pendValue int64
+	var pendFlags uint16
+	pendStage := 0 // 0 idle, 1 intent seen, 2 record seen
+	inSnap := false
+	snapDone := false
+	for i := 0; i < len(w); {
+		hdr := w[i]
+		tag, pair := hdr>>12, hdr&0x0FFF
+		n := ckPayloadLen(tag)
+		if n < 0 {
+			return nil, false, fmt.Errorf("%w: invalid tag %d", errCorruptCheckpoint, tag)
+		}
+		if i+1+n+1 > len(w) {
+			return st, snapDone, nil // torn tail: the record never finished
+		}
+		payload := w[i+1 : i+1+n]
+		if w[i+1+n] != ckChecksum(hdr, payload) {
+			if i+1+n+1 == len(w) {
+				// The record's words are all present but the bank ends
+				// here: a flip in the final record and a torn write at
+				// the checksum word are indistinguishable, and the
+				// record was never ACKed-on (commit durability gates
+				// the ACK), so dropping it is the safe reading.
+				return st, snapDone, nil
+			}
+			return nil, false, fmt.Errorf("%w: checksum mismatch mid-log", errCorruptCheckpoint)
+		}
+		switch tag {
+		case ckTagSnapBegin:
+			if st != nil {
+				return nil, false, fmt.Errorf("%w: second snapshot in one bank", errCorruptCheckpoint)
+			}
+			st = newShardState(ckDec64(payload))
+			inSnap = true
+		case ckTagSnapNode:
+			if !inSnap {
+				return nil, false, fmt.Errorf("%w: snapshot node record outside a snapshot", errCorruptCheckpoint)
+			}
+			sn := st.node(payload[0])
+			sn.breaker = BreakerState(payload[1])
+			if sn.breaker > BreakerHalfOpen {
+				return nil, false, fmt.Errorf("%w: breaker state %d", errCorruptCheckpoint, payload[1])
+			}
+			sn.haveAck = payload[2]&snapFlagHaveAck != 0
+			sn.exhausted = payload[2]&snapFlagExhausted != 0
+			sn.consecFail = int(payload[3])
+			sn.openLeft = int(payload[4])
+			sn.lastSeq = uint64(ckDec64(payload[5:9]))
+			sn.lastValue = ckDec64(payload[9:13])
+		case ckTagSnapVal:
+			if !inSnap {
+				return nil, false, fmt.Errorf("%w: snapshot value record outside a snapshot", errCorruptCheckpoint)
+			}
+			vs := st.store(payload[0])
+			seq := uint64(ckDec64(payload[1:5]))
+			if vs.has(seq) {
+				return nil, false, fmt.Errorf("%w: duplicate snapshot value", errCorruptCheckpoint)
+			}
+			vs.put(seq, ckDec64(payload[5:9]))
+		case ckTagSnapEnd:
+			if !inSnap || ckDec64(payload) != st.gen {
+				return nil, false, fmt.Errorf("%w: unmatched snapshot end", errCorruptCheckpoint)
+			}
+			inSnap, snapDone = false, true
+		case ckTagIntent:
+			if !snapDone {
+				return nil, false, fmt.Errorf("%w: admission before snapshot", errCorruptCheckpoint)
+			}
+			pendStage, pendPair = 1, pair
+			pendNode = payload[0]
+			pendSeq = uint64(ckDec64(payload[1:5]))
+		case ckTagRecord:
+			if pendStage != 1 {
+				return nil, false, fmt.Errorf("%w: record without intent", errCorruptCheckpoint)
+			}
+			pendStage = 2
+			pendValue = ckDec64(payload[0:4])
+			pendFlags = payload[4]
+		case ckTagCommit:
+			if pendStage == 2 && pair == pendPair {
+				st.admit(pendNode, pendSeq, pendValue, pendFlags)
+				st.replayed++
+			}
+			pendStage = 0
+		}
+		i += 1 + n + 1
+	}
+	if inSnap {
+		// snapBegin without snapEnd and no torn record: every record
+		// checksummed, so the bank simply holds an unfinished
+		// compaction — valid but not a complete snapshot.
+		return st, false, nil
+	}
+	return st, snapDone, nil
+}
+
+// replay picks the recoverable bank: the one with the highest-
+// generation complete snapshot. Recovery prefers the newer complete
+// bank (a crash after compaction's snapEnd but before the old bank's
+// erase leaves both complete); a bank whose snapshot never completed
+// is an interrupted compaction and yields to the other. Corruption in
+// the winning bank — or no complete snapshot anywhere — refuses the
+// shard.
+func (j *Journal) replay() (*shardState, error) {
+	type cand struct {
+		st       *shardState
+		complete bool
+		err      error
+	}
+	var cands [2]cand
+	for b := 0; b < 2; b++ {
+		cands[b].st, cands[b].complete, cands[b].err = j.replayBank(b)
+	}
+	best := -1
+	for b := 0; b < 2; b++ {
+		if cands[b].err != nil || !cands[b].complete {
+			continue
+		}
+		if best < 0 || cands[b].st.gen > cands[best].st.gen {
+			best = b
+		}
+	}
+	if best < 0 {
+		for b := 0; b < 2; b++ {
+			if cands[b].err != nil {
+				return nil, cands[b].err
+			}
+		}
+		return nil, fmt.Errorf("%w: no complete snapshot in either bank", errCorruptCheckpoint)
+	}
+	// A corrupt loser bank is fine — it is about to be erased — but a
+	// corrupt *winner* was already screened out above.
+	j.live = best
+	j.gen = cands[best].st.gen
+	j.banks[1-best] = j.banks[1-best][:0]
+	return cands[best].st, nil
+}
+
+// writeSnapshot writes a complete gen-tagged snapshot of state into
+// bank b. It does not flip the live bank; callers do that only on
+// success.
+func (j *Journal) writeSnapshot(b int, gen int64, nodes map[uint16]*snapNode, stores map[uint16]*valueStore) bool {
+	g := ckEnc64(gen)
+	if !j.appendRecord(b, ckTagSnapBegin, []uint16{g[0], g[1], g[2], g[3]}) {
+		return false
+	}
+	for id, sn := range nodes {
+		var flags uint16
+		if sn.haveAck {
+			flags |= snapFlagHaveAck
+		}
+		if sn.exhausted {
+			flags |= snapFlagExhausted
+		}
+		ls, lv := ckEnc64(int64(sn.lastSeq)), ckEnc64(sn.lastValue)
+		if !j.appendRecord(b, ckTagSnapNode, []uint16{
+			id, uint16(sn.breaker), flags, uint16(sn.consecFail), uint16(sn.openLeft),
+			ls[0], ls[1], ls[2], ls[3], lv[0], lv[1], lv[2], lv[3],
+		}) {
+			return false
+		}
+	}
+	ok := true
+	for id, vs := range stores {
+		vs.forEach(func(seq uint64, v int64) {
+			if !ok {
+				return
+			}
+			s, val := ckEnc64(int64(seq)), ckEnc64(v)
+			ok = j.appendRecord(b, ckTagSnapVal, []uint16{id, s[0], s[1], s[2], s[3], val[0], val[1], val[2], val[3]})
+		})
+		if !ok {
+			return false
+		}
+	}
+	return j.appendRecord(b, ckTagSnapEnd, []uint16{g[0], g[1], g[2], g[3]})
+}
+
+// compact writes the next-generation snapshot into the idle bank and
+// flips. A power failure mid-snapshot leaves the old bank live and
+// complete; nothing is lost, and the next compaction attempt (or
+// recovery) simply retries. It reports whether the flip happened.
+func (j *Journal) compact(nodes map[uint16]*snapNode, stores map[uint16]*valueStore) bool {
+	idle := 1 - j.live
+	j.banks[idle] = j.banks[idle][:0]
+	if !j.writeSnapshot(idle, j.gen+1, nodes, stores) {
+		return false
+	}
+	// The snapEnd word is durable: the new bank is authoritative from
+	// here even if the erase below never happens (recovery picks the
+	// higher generation).
+	j.gen++
+	j.live = idle
+	j.banks[1-idle] = j.banks[1-idle][:0]
+	return true
+}
+
+// seed initializes a fresh journal with an empty generation-1
+// snapshot, so "no complete snapshot anywhere" is always corruption,
+// never a fresh boot.
+func (j *Journal) seed() bool {
+	j.gen = 1
+	j.live = 0
+	return j.writeSnapshot(0, 1, nil, nil)
+}
+
+// Words returns the live bank's durable words plus the idle bank's
+// (test introspection; the idle bank is non-empty only mid-crash).
+func (j *Journal) Words() []uint16 {
+	out := append([]uint16(nil), j.banks[j.live]...)
+	return append(out, j.banks[1-j.live]...)
+}
+
+// Store is a collector's durable checkpoint region: one Journal per
+// ingest shard, all powered by a single supply (a collector crash is
+// one event, not per-shard). Pass it to New for a fresh collector or
+// Recover after a crash; a Store outlives the Collector instances
+// built on it, exactly as the DP-Box journal outlives the box.
+type Store struct {
+	pw     *power
+	shards []*Journal
+}
+
+// NewStore builds an empty checkpoint store for the given shard
+// count (clamped like Config.Shards).
+func NewStore(shards int) *Store {
+	if shards <= 0 {
+		shards = 8
+	}
+	if shards > 1024 {
+		shards = 1024
+	}
+	s := &Store{pw: &power{}}
+	s.pw.failAfter.Store(-1)
+	s.shards = make([]*Journal, shards)
+	for i := range s.shards {
+		s.shards[i] = &Journal{pw: s.pw}
+	}
+	return s
+}
+
+// Shards returns the store's shard count; a Collector using the store
+// always runs exactly this many ingest shards.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's journal (test introspection and fault
+// injection).
+func (s *Store) Shard(i int) *Journal { return s.shards[i] }
+
+// FailAfterWrites schedules a store-wide power failure after n more
+// successful word writes, across all shards (n = 0 kills the next
+// write). Pass a negative n to disarm.
+func (s *Store) FailAfterWrites(n int) {
+	if n < 0 {
+		n = -1
+	}
+	s.pw.failAfter.Store(int64(n))
+}
+
+// Kill drops NVM power immediately; all further writes fail and every
+// shard of the collector fails closed.
+func (s *Store) Kill() {
+	s.pw.dead.Store(true)
+}
+
+// Dead reports whether the store has lost power.
+func (s *Store) Dead() bool {
+	return s.pw.dead.Load()
+}
+
+// Revive restores power (the restart's secure boot) and disarms any
+// scheduled failure. Call it before Recover.
+func (s *Store) Revive() {
+	s.pw.dead.Store(false)
+	s.pw.failAfter.Store(-1)
+}
+
+// Writes returns the total durable word count across every shard and
+// bank — the crash-sweep axis ("fail after the w-th word write").
+func (s *Store) Writes() uint64 {
+	return s.pw.writes.Load()
+}
+
+// empty reports whether no shard holds any durable words (a store
+// that has never been seeded by New).
+func (s *Store) empty() bool {
+	for _, j := range s.shards {
+		if len(j.banks[0]) != 0 || len(j.banks[1]) != 0 {
+			return false
+		}
+	}
+	return true
+}

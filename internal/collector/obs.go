@@ -30,6 +30,18 @@ type Metrics struct {
 	Closed     *obs.Counter
 	Reopened   *obs.Counter
 
+	// Crash-consistency plane: CheckpointBytes counts durable bytes
+	// written to the shard checkpoint journals (admissions and
+	// snapshots), Compactions counts snapshot rewrites, FailClosed
+	// counts reports dropped unACKed on a dead journal, and the
+	// Recover pair counts shards rebuilt and WAL-tail admissions
+	// replayed at Collector.Recover.
+	CheckpointBytes *obs.Counter
+	Compactions     *obs.Counter
+	FailClosed      *obs.Counter
+	RecoverShards   *obs.Counter
+	RecoverReplayed *obs.Counter
+
 	QueueDepth *obs.Gauge
 	Trace      *obs.Trace
 }
@@ -47,6 +59,12 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		HalfOpened: r.Counter("collector.breaker.half_opened"),
 		Closed:     r.Counter("collector.breaker.closed"),
 		Reopened:   r.Counter("collector.breaker.reopened"),
+
+		CheckpointBytes: r.Counter("collector.checkpoint_bytes"),
+		Compactions:     r.Counter("collector.compactions"),
+		FailClosed:      r.Counter("collector.fail_closed"),
+		RecoverShards:   r.Counter("collector.recover_shards"),
+		RecoverReplayed: r.Counter("collector.recover_reports_replayed"),
 
 		QueueDepth: r.Gauge("collector.queue_depth"),
 		Trace:      r.Trace("trace", 1024),

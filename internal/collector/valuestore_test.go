@@ -1,0 +1,104 @@
+package collector
+
+import "testing"
+
+// TestValueStoreWordBoundary pins the seen-bitmap edge: sequence
+// numbers 63, 64, 65 straddle a 64-bit bitmap word, and arriving
+// high-before-low must grow vals/seen consistently without phantom
+// bits for the skipped seqs.
+func TestValueStoreWordBoundary(t *testing.T) {
+	var vs valueStore
+	for _, seq := range []uint64{65, 63, 64} {
+		if vs.has(seq) {
+			t.Fatalf("seq %d present before put", seq)
+		}
+		vs.put(seq, int64(1000+seq))
+	}
+	for _, seq := range []uint64{63, 64, 65} {
+		if !vs.has(seq) || vs.get(seq) != int64(1000+seq) {
+			t.Fatalf("seq %d: has=%v get=%d", seq, vs.has(seq), vs.get(seq))
+		}
+	}
+	for seq := uint64(0); seq < 63; seq++ {
+		if vs.has(seq) {
+			t.Fatalf("phantom seq %d from high-before-low growth", seq)
+		}
+	}
+	if vs.n != 3 {
+		t.Fatalf("n = %d, want 3", vs.n)
+	}
+}
+
+// TestValueStoreOutOfOrderProperty drives a valueStore with shuffled
+// arrival orders — including far-spill seqs past denseLimit and
+// duplicate deliveries guarded by has, exactly as handleLocked guards
+// them — and checks it against a reference map: same membership, same
+// values, forEach visits each recorded seq exactly once, n matches.
+func TestValueStoreOutOfOrderProperty(t *testing.T) {
+	for trial := uint64(1); trial <= 20; trial++ {
+		rng := trial * 0x9E3779B97F4A7C15
+		next := func() uint64 {
+			rng ^= rng >> 12
+			rng ^= rng << 25
+			rng ^= rng >> 27
+			return rng * 0x2545F4914F6CDD1D
+		}
+
+		// Seq universe: a dense run over two bitmap words plus a few
+		// far-spill outliers.
+		seqs := make([]uint64, 0, 80)
+		for s := uint64(0); s < 72; s++ {
+			seqs = append(seqs, s)
+		}
+		seqs = append(seqs, denseLimit, denseLimit+1, denseLimit+977)
+		for i := len(seqs) - 1; i > 0; i-- {
+			k := next() % uint64(i+1)
+			seqs[i], seqs[k] = seqs[k], seqs[i]
+		}
+
+		var vs valueStore
+		ref := make(map[uint64]int64, len(seqs))
+		for _, seq := range seqs {
+			v := int64(next() % 1e6)
+			if !vs.has(seq) {
+				vs.put(seq, v)
+				ref[seq] = v
+			}
+			// A duplicate delivery with a different payload must be
+			// absorbed by the has guard, as in handleLocked.
+			if dup := next()%3 == 0; dup {
+				if !vs.has(seq) {
+					t.Fatalf("trial %d: seq %d vanished", trial, seq)
+				}
+			}
+		}
+
+		if vs.n != len(ref) {
+			t.Fatalf("trial %d: n = %d, want %d", trial, vs.n, len(ref))
+		}
+		visited := make(map[uint64]int, len(ref))
+		vs.forEach(func(seq uint64, v int64) {
+			visited[seq]++
+			if want, ok := ref[seq]; !ok || v != want {
+				t.Fatalf("trial %d: forEach(%d) = %d, ref %d (ok=%v)", trial, seq, v, want, ok)
+			}
+		})
+		for seq, times := range visited {
+			if times != 1 {
+				t.Fatalf("trial %d: seq %d visited %d times", trial, seq, times)
+			}
+		}
+		if len(visited) != len(ref) {
+			t.Fatalf("trial %d: forEach visited %d of %d seqs", trial, len(visited), len(ref))
+		}
+		for seq, want := range ref {
+			if !vs.has(seq) || vs.get(seq) != want {
+				t.Fatalf("trial %d: seq %d has=%v get=%d want=%d", trial, seq, vs.has(seq), vs.get(seq), want)
+			}
+		}
+		// Never-recorded seqs inside the grown dense region stay absent.
+		if vs.has(72) || vs.has(denseLimit+2) {
+			t.Fatalf("trial %d: phantom membership", trial)
+		}
+	}
+}

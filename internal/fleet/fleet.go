@@ -67,6 +67,21 @@ type Config struct {
 	// collector default). Per-node accounting is bit-identical for
 	// any value.
 	Shards int
+	// Durable runs the collector on a durable checkpoint store
+	// (collector.NewDurable), journaling every admission before its
+	// ACK. Implied by a non-empty CollectorCrashes schedule.
+	Durable bool
+	// CollectorCrashes schedules store-wide collector crashes: each
+	// ascending entry is a cumulative count of checkpoint words
+	// written after startup at which the store's NVM power dies.
+	// After each crash the harness closes the collector, rebuilds it
+	// with collector.Recover, and re-attaches every node's link;
+	// un-ACKed reports ride the nodes' retry loops across the restart
+	// and land as fresh admissions or absorbed duplicates.
+	CollectorCrashes []int
+	// CompactEvery overrides the durable collector's checkpoint
+	// snapshot cadence (0 = the collector default).
+	CompactEvery int
 	// Obs, when non-nil, threads one telemetry registry through every
 	// layer of the run: each node's DP-Box charges odometer channel i,
 	// and the run checks — live, after every report — that the fleet's
@@ -104,6 +119,13 @@ type Result struct {
 	Link transport.Stats
 	// Violations lists every invariant-1 breach detected in-run.
 	Violations []string
+	// CollectorRecoveries counts collector crash/recover cycles the
+	// run survived.
+	CollectorRecoveries int
+	// CheckpointWords counts durable checkpoint words written after
+	// startup (0 for a volatile collector) — the length of the
+	// collector crash schedule's word-write axis.
+	CheckpointWords uint64
 	// Obs is the final telemetry snapshot (nil unless Config.Obs was
 	// set).
 	Obs *obs.Snapshot
@@ -131,6 +153,149 @@ const (
 	seedLink
 	seedJitter
 )
+
+// colSupervisor owns the collector across its crash/recover
+// lifecycle: it arms the scheduled store power failures, watches for
+// the store to die, and on each death closes the dead collector, runs
+// collector.Recover, and re-binds every node's link endpoint to the
+// recovered instance. Nodes go through attach so the endpoint registry
+// survives the swap; un-ACKed reports simply keep retrying and land on
+// the recovered dedup state.
+type colSupervisor struct {
+	cfg     collector.Config
+	store   *collector.Store // nil for a volatile collector
+	violate func(string, ...any)
+
+	mu         sync.Mutex
+	col        *collector.Collector
+	ends       map[transport.NodeID]*transport.Endpoint
+	schedule   []int
+	next       int
+	base       uint64 // store words already written at startup (seeding)
+	recoveries int
+	broken     bool // recovery failed; stop supervising
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newColSupervisor(cfg collector.Config, store *collector.Store, col *collector.Collector, schedule []int, violate func(string, ...any)) *colSupervisor {
+	s := &colSupervisor{
+		cfg:     cfg,
+		store:   store,
+		violate: violate,
+		col:     col,
+		ends:    make(map[transport.NodeID]*transport.Endpoint),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if store != nil {
+		s.schedule = schedule
+		s.base = store.Writes()
+		s.arm()
+	}
+	return s
+}
+
+// arm schedules the next crash point as a countdown from the store's
+// current write cursor. A point the write stream already passed (the
+// recovery's own compaction may overshoot it) fires on the very next
+// word instead of silently never.
+func (s *colSupervisor) arm() {
+	if s.store == nil || s.next >= len(s.schedule) {
+		return
+	}
+	target := s.base + uint64(s.schedule[s.next])
+	delta := 0
+	if w := s.store.Writes(); target > w {
+		delta = int(target - w)
+	}
+	s.store.FailAfterWrites(delta)
+}
+
+// watch starts the crash watcher. The store dies between two word
+// writes at the armed point; the watcher notices within a tick and
+// runs the recovery. Detection latency only widens the fail-closed
+// window — it never changes what was ACKed, so results stay exact.
+func (s *colSupervisor) watch() {
+	if s.store == nil || len(s.schedule) == 0 {
+		close(s.done)
+		return
+	}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(200 * time.Microsecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				if s.store.Dead() {
+					s.recover()
+				}
+			}
+		}
+	}()
+}
+
+// recover replaces the dead collector with one rebuilt from the
+// checkpoint store and re-attaches every registered endpoint.
+func (s *colSupervisor) recover() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken {
+		return
+	}
+	s.col.Close()
+	c, err := collector.Recover(s.cfg, s.store)
+	if err != nil {
+		// A pure power crash can never corrupt the checkpoint, so this
+		// is itself an invariant breach. The closed collector stays for
+		// the final in-memory reads.
+		s.violate("collector recovery %d: %v", s.recoveries+1, err)
+		s.broken = true
+		return
+	}
+	for id, end := range s.ends {
+		if aerr := c.Attach(id, end); aerr != nil {
+			s.violate("collector recovery: re-attach node %d: %v", id, aerr)
+		}
+	}
+	s.col = c
+	s.recoveries++
+	s.next++
+	s.arm()
+}
+
+// attach registers a node's endpoint for the lifetime of the run,
+// across collector restarts.
+func (s *colSupervisor) attach(id transport.NodeID, end *transport.Endpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ends[id] = end
+	return s.col.Attach(id, end)
+}
+
+// finish stops the watcher, absorbs a crash that fired during final
+// quiescence (e.g. inside a trailing compaction), and hands back the
+// live collector for the end-of-run reads.
+func (s *colSupervisor) finish() (*collector.Collector, int) {
+	close(s.stop)
+	<-s.done
+	if s.store != nil && s.store.Dead() {
+		s.recover()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col, s.recoveries
+}
+
+func (s *colSupervisor) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.col.Close()
+}
 
 // perReportCapNats is the certified worst-case charge of a single
 // report under the fleet's box shape: Configure(1, 0, 16) sets
@@ -192,16 +357,6 @@ func Run(cfg Config) (Result, error) {
 		colM = collector.NewMetrics(cfg.Obs)
 	}
 
-	col := collector.New(collector.Config{BreakerThreshold: cfg.BreakerThreshold, Shards: cfg.Shards, Obs: colM})
-	defer col.Close()
-
-	links := make([]*transport.Link, cfg.Nodes)
-	for i := 0; i < cfg.Nodes; i++ {
-		fp := fault.NewPlane()
-		fp.SetPacketFault(fault.LossyLink(subSeed(cfg.Seed, seedLink, i, 0), cfg.Link))
-		links[i] = transport.NewLink(transport.LinkConfig{Plane: fp, Obs: linkM})
-	}
-
 	res := Result{Nodes: make([]NodeResult, cfg.Nodes)}
 	var (
 		wg    sync.WaitGroup
@@ -213,6 +368,33 @@ func Run(cfg Config) (Result, error) {
 		resMu.Unlock()
 	}
 
+	colCfg := collector.Config{
+		BreakerThreshold: cfg.BreakerThreshold,
+		Shards:           cfg.Shards,
+		CompactEvery:     cfg.CompactEvery,
+		Obs:              colM,
+	}
+	var sup *colSupervisor
+	if cfg.Durable || len(cfg.CollectorCrashes) > 0 {
+		store := collector.NewStore(cfg.Shards)
+		c, err := collector.NewDurable(colCfg, store)
+		if err != nil {
+			return Result{}, err
+		}
+		sup = newColSupervisor(colCfg, store, c, cfg.CollectorCrashes, violate)
+	} else {
+		sup = newColSupervisor(colCfg, nil, collector.New(colCfg), nil, violate)
+	}
+	defer sup.close()
+	sup.watch()
+
+	links := make([]*transport.Link, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		fp := fault.NewPlane()
+		fp.SetPacketFault(fault.LossyLink(subSeed(cfg.Seed, seedLink, i, 0), cfg.Link))
+		links[i] = transport.NewLink(transport.LinkConfig{Plane: fp, Obs: linkM})
+	}
+
 	runNode := func(i int) {
 		nr := &NodeResult{}
 		// Each lifecycle writes its own distinct slice index, so no
@@ -221,8 +403,9 @@ func Run(cfg Config) (Result, error) {
 
 		// Attach lazily, as the lifecycle starts, so nodes queued
 		// behind the worker pool don't sit on the collector accruing
-		// idle breaker ticks before their first report.
-		if err := col.Attach(transport.NodeID(i), links[i].CollectorEnd()); err != nil {
+		// idle breaker ticks before their first report. The supervisor
+		// keeps the binding across collector restarts.
+		if err := sup.attach(transport.NodeID(i), links[i].CollectorEnd()); err != nil {
 			violate("node %d: %v", i, err)
 			return
 		}
@@ -378,6 +561,14 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	// Final reads go through the supervisor: the collector in place now
+	// may be the n-th recovered instance, and its recovered state must
+	// carry everything any of its predecessors ever ACKed.
+	col, recoveries := sup.finish()
+	res.CollectorRecoveries = recoveries
+	if sup.store != nil {
+		res.CheckpointWords = sup.store.Writes() - sup.base
+	}
 	res.Aggregate = col.Aggregate()
 	res.Collector = col.Stats()
 	for _, l := range links {

@@ -170,6 +170,102 @@ func TestCrashScheduleChargesOnce(t *testing.T) {
 	}
 }
 
+// TestCollectorCrashGrid is the collector-restart axis of the chaos
+// grid: a durable collector is crashed at checkpoint word-write
+// offsets sweeping its entire write stream — inside admission intents,
+// records, commits, and compaction snapshots alike — crossed with
+// lossy link profiles and node crash schedules. Every grid point must
+// recover to bit-exact exactly-once accounting: no double-counted
+// report, no lost ACKed report, convergence to the lossless same-seed
+// baseline, and the live Σcharges ≤ n·ε odometer envelope throughout.
+//
+// The fleet is kept minimal (2 nodes × 2 reports, 1 shard, snapshot
+// every 3 admissions) so the word axis stays small enough to sweep
+// exhaustively; TestCheckpointCrashSweep in internal/collector is the
+// journal-level word-exact counterpart on a larger scenario.
+func TestCollectorCrashGrid(t *testing.T) {
+	base := Config{
+		Nodes: 2, Reports: 2, Seed: gridSeed(t),
+		Shards: 1, CompactEvery: 3, BreakerThreshold: 1 << 20,
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 7 // sparse sweep for -short; CI runs the full axis
+	}
+	crashLinks := []struct {
+		name string
+		prof fault.LinkProfile
+	}{
+		{"drop", fault.LinkProfile{Drop: 0.35}},
+		{"dup-reorder", fault.LinkProfile{Duplicate: 0.3, Reorder: 0.25, MaxDelay: 3}},
+	}
+
+	for _, nodeCrash := range []int{0, 2} {
+		nodeCrash := nodeCrash
+		// Volatile and durable lossless baselines: checkpointing alone
+		// must not change a single value.
+		vcfg := base
+		vcfg.CrashEvery = nodeCrash
+		volatile, err := Run(vcfg)
+		if err != nil {
+			t.Fatalf("nodecrash=%d volatile baseline: %v", nodeCrash, err)
+		}
+		dcfg := vcfg
+		dcfg.Durable = true
+		baseline, err := Run(dcfg)
+		if err != nil {
+			t.Fatalf("nodecrash=%d durable baseline: %v", nodeCrash, err)
+		}
+		if len(baseline.Violations) != 0 {
+			t.Fatalf("nodecrash=%d baseline violations: %v", nodeCrash, head(baseline.Violations, 5))
+		}
+		if diffs := CompareRuns(baseline, volatile); len(diffs) != 0 {
+			t.Fatalf("nodecrash=%d: durability changed results: %v", nodeCrash, head(diffs, 5))
+		}
+		words := int(baseline.CheckpointWords)
+		if words < 16*base.Nodes*base.Reports {
+			t.Fatalf("nodecrash=%d: baseline wrote only %d checkpoint words", nodeCrash, words)
+		}
+		// Any crash offset below the admission floor (every run journals
+		// at least Nodes×Reports admissions of 16 words) must fire.
+		mustFire := 16 * base.Nodes * base.Reports
+
+		for _, link := range crashLinks {
+			link := link
+			t.Run(fmt.Sprintf("%s/nodecrash=%d", link.name, nodeCrash), func(t *testing.T) {
+				t.Parallel()
+				fired := 0
+				for w := 0; w < words; w += stride {
+					cfg := base
+					cfg.CrashEvery = nodeCrash
+					cfg.Link = link.prof
+					cfg.CollectorCrashes = []int{w}
+					cfg.Obs = obs.NewRegistry() // live odometer envelope per run
+					res, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("crash@%d: %v", w, err)
+					}
+					if len(res.Violations) != 0 {
+						t.Fatalf("crash@%d violations: %v", w, head(res.Violations, 5))
+					}
+					if diffs := CompareRuns(res, baseline); len(diffs) != 0 {
+						t.Fatalf("crash@%d diverged from lossless baseline: %v", w, head(diffs, 5))
+					}
+					if res.CollectorRecoveries > 0 {
+						fired++
+					}
+					if w < mustFire && res.CollectorRecoveries != 1 {
+						t.Fatalf("crash@%d: %d recoveries, want exactly 1", w, res.CollectorRecoveries)
+					}
+				}
+				if fired == 0 {
+					t.Fatal("collector crash axis never fired")
+				}
+			})
+		}
+	}
+}
+
 // TestSeedChangesValues is the negative control for invariant 2: a
 // different master seed must actually produce different values, or
 // the bit-exact comparisons above are vacuous.

@@ -29,8 +29,13 @@ var goldenNames = []string{
 	"collector.breaker.opened",
 	"collector.breaker.reopened",
 	"collector.breaker_drops",
+	"collector.checkpoint_bytes",
+	"collector.compactions",
 	"collector.duplicates",
+	"collector.fail_closed",
 	"collector.queue_depth",
+	"collector.recover_reports_replayed",
+	"collector.recover_shards",
 	"collector.timeouts",
 	"dpbox.cache_replays",
 	"dpbox.degraded",

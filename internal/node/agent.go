@@ -2,6 +2,7 @@ package node
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,14 +10,29 @@ import (
 	"ulpdp/internal/transport"
 )
 
+// ErrAbandoned marks a report whose total transmission budget ran out
+// during a sustained collector outage: the (seq, value) binding is
+// durable in the node's journal and the report is parked, not lost —
+// a later Resume (typically after the collector recovers) re-delivers
+// the identical value under a fresh attempt lease, and the
+// collector's recovered dedup state absorbs any copies that did land.
+var ErrAbandoned = errors.New("node: report abandoned (total attempt cap)")
+
 // AgentConfig parameterizes a ReportAgent's retry policy. The zero
 // value gets simulation-friendly defaults (sub-millisecond backoff);
 // a real radio stack would scale every duration up.
 type AgentConfig struct {
 	// ID is this node's fleet identity.
 	ID transport.NodeID
-	// MaxAttempts bounds transmissions per report (default 24).
+	// MaxAttempts bounds transmissions per delivery call (default 24).
 	MaxAttempts int
+	// MaxTotalAttempts caps a report's cumulative transmissions across
+	// its first delivery and every in-place retry before the outcome
+	// turns terminally abandoned (ErrAbandoned). Resume is exempt: it
+	// grants the parked report a fresh lease, so a report abandoned
+	// during a collector outage is still re-deliverable after the
+	// collector recovers. Default 4×MaxAttempts.
+	MaxTotalAttempts int
 	// AckWait is the per-attempt ACK wait (default 2ms).
 	AckWait time.Duration
 	// BackoffBase seeds the capped exponential backoff (default 200µs).
@@ -81,6 +97,9 @@ type ReportAgent struct {
 func NewReportAgent(box *dpbox.DPBox, end *transport.Endpoint, cfg AgentConfig) *ReportAgent {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 24
+	}
+	if cfg.MaxTotalAttempts <= 0 {
+		cfg.MaxTotalAttempts = 4 * cfg.MaxAttempts
 	}
 	if cfg.AckWait <= 0 {
 		cfg.AckWait = 2 * time.Millisecond
@@ -154,7 +173,10 @@ func (a *ReportAgent) Report(ctx context.Context, x int64) (ReportOutcome, error
 		FromCache: res.FromCache,
 		Replayed:  res.Replayed,
 	}
-	attempts, err := a.deliver(ctx, a.packet(seq, res.Value, res.Degraded, res.FromCache))
+	// A report rides out a collector outage up to the total cap, then
+	// abandons terminally (ErrAbandoned); the journaled binding keeps
+	// it re-deliverable through Resume once the collector is back.
+	attempts, err := a.deliver(ctx, a.packet(seq, res.Value, res.Degraded, res.FromCache), a.cfg.MaxTotalAttempts)
 	out.Attempts = attempts
 	if m := a.cfg.Obs; m != nil && err == nil {
 		// The (node, seq) span closes: noise drawn → ACK recorded.
@@ -166,9 +188,13 @@ func (a *ReportAgent) Report(ctx context.Context, x int64) (ReportOutcome, error
 }
 
 // Resume retransmits the most recent journaled release until ACKed.
-// Call it after crash recovery: at most one report can be outstanding
-// (the agent is sequential), and re-delivering an already-ACKed
-// sequence number is harmless — the collector dedups by (node, seq).
+// Call it after crash recovery (node or collector side), or to
+// re-deliver a report Report abandoned at its total attempt cap: each
+// Resume grants a fresh MaxAttempts lease, at most one report can be
+// outstanding (the agent is sequential), and re-delivering an
+// already-ACKed sequence number is harmless — the collector dedups by
+// (node, seq), and a restarted collector's recovered dedup state
+// re-ACKs it bit-exactly.
 func (a *ReportAgent) Resume(ctx context.Context) error {
 	if a.next == 0 {
 		return nil // nothing ever released
@@ -181,7 +207,7 @@ func (a *ReportAgent) Resume(ctx context.Context) error {
 	if m := a.cfg.Obs; m != nil {
 		m.Resumes.Inc()
 	}
-	_, err := a.deliver(ctx, a.packet(seq, rel.Value, rel.Degraded, rel.FromCache))
+	_, err := a.deliver(ctx, a.packet(seq, rel.Value, rel.Degraded, rel.FromCache), a.cfg.MaxAttempts)
 	return err
 }
 
@@ -206,9 +232,9 @@ func (a *ReportAgent) packet(seq uint64, value int64, degraded, fromCache bool) 
 }
 
 // deliver retransmits pkt verbatim until an ACK for (node, seq)
-// arrives, attempts run out, or the context expires.
-func (a *ReportAgent) deliver(ctx context.Context, pkt transport.Packet) (int, error) {
-	attempts, err := a.deliverLoop(ctx, pkt)
+// arrives, the attempt budget runs out, or the context expires.
+func (a *ReportAgent) deliver(ctx context.Context, pkt transport.Packet, budget int) (int, error) {
+	attempts, err := a.deliverLoop(ctx, pkt, budget)
 	if m := a.cfg.Obs; m != nil {
 		if attempts > 1 {
 			m.Retransmits.Add(uint64(attempts - 1))
@@ -221,8 +247,10 @@ func (a *ReportAgent) deliver(ctx context.Context, pkt transport.Packet) (int, e
 	return attempts, err
 }
 
-func (a *ReportAgent) deliverLoop(ctx context.Context, pkt transport.Packet) (int, error) {
-	for attempt := 1; attempt <= a.cfg.MaxAttempts; attempt++ {
+func (a *ReportAgent) deliverLoop(ctx context.Context, pkt transport.Packet, budget int) (int, error) {
+	// The per-window backoff exponent stays capped at MaxAttempts so a
+	// long total budget keeps pausing at BackoffCap, not beyond.
+	for attempt := 1; attempt <= budget; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return attempt - 1, fmt.Errorf("node: delivering seq %d: %w", pkt.Seq, err)
 		}
@@ -230,7 +258,7 @@ func (a *ReportAgent) deliverLoop(ctx context.Context, pkt transport.Packet) (in
 		if a.awaitAck(ctx, pkt.Seq) {
 			return attempt, nil
 		}
-		if attempt < a.cfg.MaxAttempts {
+		if attempt < budget {
 			pause := a.backoff(attempt)
 			if m := a.cfg.Obs; m != nil {
 				m.BackoffNs.Add(uint64(pause))
@@ -240,7 +268,7 @@ func (a *ReportAgent) deliverLoop(ctx context.Context, pkt transport.Packet) (in
 			}
 		}
 	}
-	return a.cfg.MaxAttempts, fmt.Errorf("node: seq %d unacked after %d attempts", pkt.Seq, a.cfg.MaxAttempts)
+	return budget, fmt.Errorf("node: seq %d unacked after %d attempts: %w", pkt.Seq, budget, ErrAbandoned)
 }
 
 // awaitAck waits one AckWait window for an ACK of seq, absorbing

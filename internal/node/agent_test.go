@@ -2,10 +2,12 @@ package node
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
+	"ulpdp/internal/collector"
 	"ulpdp/internal/dpbox"
 	"ulpdp/internal/fault"
 	"ulpdp/internal/transport"
@@ -200,6 +202,84 @@ func TestCrashMidRetryReplaysSameValue(t *testing.T) {
 	}
 	if !res.Replayed || res.Value != out.Value {
 		t.Fatalf("post-recovery replay: %+v, want value %d", res, out.Value)
+	}
+}
+
+// TestAbandonedReportRedeliveredAfterCollectorRecovery is the
+// sustained-outage arc: the collector's checkpoint store dies, the
+// shard fails closed (no ACKs), the report exhausts its total attempt
+// cap and turns terminally abandoned — then the collector recovers
+// from its checkpoints, Resume re-delivers the identical journaled
+// value under a fresh lease, and a second Resume is absorbed by the
+// recovered dedup state as a duplicate.
+func TestAbandonedReportRedeliveredAfterCollectorRecovery(t *testing.T) {
+	const id = transport.NodeID(7)
+	store := collector.NewStore(1)
+	col, err := collector.NewDurable(collector.Config{BreakerThreshold: 1 << 20}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := transport.NewLink(transport.LinkConfig{})
+	if err := col.Attach(id, link.CollectorEnd()); err != nil {
+		t.Fatal(err)
+	}
+
+	box, _ := newAgentBox(t, 21, 1e6)
+	agent := NewReportAgent(box, link.NodeEnd(), AgentConfig{
+		ID: id, MaxAttempts: 3, MaxTotalAttempts: 6, AckWait: time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Seq 0 lands normally and its admission is checkpointed.
+	out0, err := agent.Report(ctx, 5)
+	if err != nil {
+		t.Fatalf("seq 0: %v", err)
+	}
+
+	// The collector crashes (checkpoint NVM power lost). The shard
+	// fails closed: seq 1 is journaled on the node, transmitted up to
+	// the total cap, never ACKed, and terminally abandoned.
+	store.Kill()
+	out1, err := agent.Report(ctx, 9)
+	if !errors.Is(err, ErrAbandoned) {
+		t.Fatalf("outage report error = %v, want ErrAbandoned", err)
+	}
+	if out1.Attempts != 6 {
+		t.Fatalf("abandoned after %d attempts, want the total cap 6", out1.Attempts)
+	}
+	if st := col.Stats(); st.FailClosed == 0 {
+		t.Fatalf("dead store but no fail-closed drops: %+v", st)
+	}
+	col.Close()
+
+	// Restart: recover from the checkpoints, re-bind the same link.
+	col2, err := collector.Recover(collector.Config{BreakerThreshold: 1 << 20}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col2.Close()
+	if err := col2.Attach(id, link.CollectorEnd()); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := col2.Node(id); !ok || !v.Have || v.Seq != 0 || v.Value != out0.Value {
+		t.Fatalf("recovered view %+v ok=%v, want seq 0 value %d", v, ok, out0.Value)
+	}
+
+	// The parked report gets a fresh lease and lands; a second Resume
+	// of the same seq is a pure duplicate, re-ACKed but not re-counted.
+	if err := agent.Resume(ctx); err != nil {
+		t.Fatalf("resume after recovery: %v", err)
+	}
+	if err := agent.Resume(ctx); err != nil {
+		t.Fatalf("second resume: %v", err)
+	}
+	got := col2.Values(id)
+	if len(got) != 2 || got[0] != out0.Value || got[1] != out1.Value {
+		t.Fatalf("recovered values %v, want {0:%d 1:%d}", got, out0.Value, out1.Value)
+	}
+	if st := col2.Stats(); st.Accepted != 1 || st.Duplicates == 0 {
+		t.Fatalf("post-recovery stats %+v, want 1 fresh admission and >=1 duplicate", st)
 	}
 }
 
