@@ -14,6 +14,7 @@ import (
 	"ulpdp/internal/fault"
 	"ulpdp/internal/laplace"
 	"ulpdp/internal/msp430"
+	"ulpdp/internal/obs"
 	"ulpdp/internal/urng"
 )
 
@@ -312,6 +313,37 @@ func BenchmarkDPBoxObsDisabled(b *testing.B) { benchDPBoxObs(b, false) }
 // BenchmarkDPBoxObsEnabled has the full plane attached (counters,
 // odometer, trace ring) for comparison.
 func BenchmarkDPBoxObsEnabled(b *testing.B) { benchDPBoxObs(b, true) }
+
+// benchReportSpan is the flight-recorder overhead guard: one full
+// report span (noised → journal → tx → link-rx → admit → ack) per
+// iteration, stamped against a nil recorder (the production default)
+// or a live ring. The disabled path's contract is zero allocations;
+// the enabled path must also stay allocation-free — the ring is
+// fixed-capacity and pooled by construction.
+func benchReportSpan(b *testing.B, enabled bool) {
+	var fr *obs.FlightRecorder
+	if enabled {
+		fr = obs.NewFlightRecorder(1024)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := uint64(i) % 512
+		fr.Record(1, seq, obs.StageNoised)
+		fr.Record(1, seq, obs.StageJournal)
+		fr.Record(1, seq, obs.StageTx)
+		fr.Record(1, seq, obs.StageLinkRx)
+		fr.Record(1, seq, obs.StageAdmit)
+		fr.Record(1, seq, obs.StageAck)
+	}
+}
+
+// BenchmarkReportSpanDisabled is the nil-recorder span hot path; CI
+// pins it at 0 allocs/op.
+func BenchmarkReportSpanDisabled(b *testing.B) { benchReportSpan(b, false) }
+
+// BenchmarkReportSpanEnabled stamps against a live 1024-slot ring.
+func BenchmarkReportSpanEnabled(b *testing.B) { benchReportSpan(b, true) }
 
 // BenchmarkMSP430SoftNoise measures the emulated software noising
 // routine (thousands of emulated cycles per call).

@@ -20,8 +20,9 @@
 //
 // -metrics attaches the telemetry plane (privacy odometer, counters,
 // trace ring) and prints its final JSON snapshot when the session
-// ends. -debug additionally serves the plane on /debug/vars (expvar)
-// plus /debug/pprof at ADDR for the session's lifetime.
+// ends. -debug additionally serves the plane on /debug/vars (expvar),
+// Prometheus text exposition on /metrics, and /debug/pprof at ADDR
+// for the session's lifetime.
 //
 // The exit status reports the box's final state: 0 when the session
 // ends with a live, healthy box; 1 when it ends with the box dead
@@ -43,6 +44,7 @@ import (
 
 	"ulpdp"
 	"ulpdp/internal/fault"
+	"ulpdp/internal/obs"
 )
 
 type session struct {
@@ -65,7 +67,7 @@ func run() int {
 	health := flag.Uint64("health", 0, "run the URNG health battery every N cycles (0 = off)")
 	stuck := flag.Int("stuck", -1, "inject a stuck-word URNG fault with this word (-1 = off)")
 	metrics := flag.Bool("metrics", false, "attach the telemetry plane and print its JSON snapshot on exit")
-	debugAddr := flag.String("debug", "", "serve /debug/vars (expvar) and /debug/pprof at this address; implies -metrics")
+	debugAddr := flag.String("debug", "", "serve /debug/vars (expvar), /metrics (Prometheus), and /debug/pprof at this address; implies -metrics")
 	flag.Parse()
 
 	cfg := ulpdp.DPBoxConfig{Bu: *bu, By: *by, Mult: *mult, HealthEvery: *health}
@@ -76,12 +78,18 @@ func run() int {
 	}
 	if *debugAddr != "" {
 		reg.PublishExpvar("ulpdp")
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", obs.PrometheusContentType)
+			if err := obs.WritePrometheus(w, reg.Snapshot()); err != nil {
+				fmt.Fprintln(os.Stderr, "dpboxsim: /metrics:", err)
+			}
+		})
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "dpboxsim: debug server:", err)
 			}
 		}()
-		fmt.Printf("dpboxsim: serving /debug/vars and /debug/pprof on %s\n", *debugAddr)
+		fmt.Printf("dpboxsim: serving /debug/vars, /metrics, and /debug/pprof on %s\n", *debugAddr)
 	}
 	if *stuck >= 0 {
 		fp := fault.NewPlane()

@@ -30,8 +30,18 @@
 // -metrics attaches the telemetry plane to the chaos run — the
 // privacy odometer is then asserted live against the certified n·ε
 // envelope — and prints the final JSON snapshot to stdout. -debug
-// additionally serves the registry on /debug/vars plus net/http/pprof
-// at ADDR, and keeps the process alive after the run for inspection.
+// additionally serves the registry on /debug/vars, a Prometheus
+// text-exposition endpoint on /metrics, and net/http/pprof at ADDR,
+// and keeps the process alive after the run for inspection.
+//
+// -tracefile PATH (implies -metrics) attaches the per-report flight
+// recorder and the privacy burn-rate alerter, writes the chaos run's
+// spans as Chrome/Perfetto trace-event JSON to PATH (load it at
+// ui.perfetto.dev or chrome://tracing), self-checks the export —
+// every ACKed report must carry a complete, causally ordered span
+// chain and the JSON must be shape-valid — and prints a per-stage
+// latency attribution table (p50/p95/p99, stratified by retransmit
+// count). A tripped burn alert or a failed self-check exits non-zero.
 package main
 
 import (
@@ -70,7 +80,8 @@ func run() int {
 	shards := flag.Int("shards", 0, "collector ingest shards (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "wall-clock ceiling for each fleet run (0 = library default)")
 	metrics := flag.Bool("metrics", false, "attach the telemetry plane to the chaos run and print its JSON snapshot")
-	debugAddr := flag.String("debug", "", "serve /debug/vars (expvar) and /debug/pprof at this address; implies -metrics and blocks after the run")
+	traceFile := flag.String("tracefile", "", "write the chaos run's flight-recorder spans as Perfetto trace-event JSON to this path; implies -metrics")
+	debugAddr := flag.String("debug", "", "serve /debug/vars (expvar), /metrics (Prometheus), and /debug/pprof at this address; implies -metrics and blocks after the run")
 	verbose := flag.Bool("v", false, "print per-node detail")
 	flag.Parse()
 
@@ -128,18 +139,42 @@ func run() int {
 	}
 
 	var reg *obs.Registry
-	if *metrics || *debugAddr != "" {
+	if *metrics || *debugAddr != "" || *traceFile != "" {
 		reg = obs.NewRegistry()
 		cfg.Obs = reg
 	}
+	if *traceFile != "" {
+		// Size the ring so a full run can never drop a span: one slot
+		// per (node, seq), doubled for headroom (NewFlightRecorder
+		// rounds up to a power of two anyway).
+		cfg.Flight = obs.NewFlightRecorder(cfg.Nodes * cfg.Reports * 2)
+		// The alerter's plan is the certified per-report cap itself, so
+		// a healthy fleet burns at exactly 1x and only a privacy
+		// overspend — noising charged above its certification — trips.
+		burn, berr := obs.NewBurnAlerter(obs.BurnConfig{
+			EnvelopeMicroNats: obs.MicroNats(float64(cfg.Nodes*cfg.Reports) * fleet.PerReportCapNats),
+			HorizonCharges:    uint64(cfg.Nodes * cfg.Reports),
+		})
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim: burn alerter:", berr)
+			return 2
+		}
+		cfg.Burn = burn
+	}
 	if *debugAddr != "" {
 		reg.PublishExpvar("ulpdp")
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", obs.PrometheusContentType)
+			if err := obs.WritePrometheus(w, reg.Snapshot()); err != nil {
+				fmt.Fprintln(os.Stderr, "fleetsim: /metrics:", err)
+			}
+		})
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "fleetsim: debug server:", err)
 			}
 		}()
-		fmt.Printf("fleetsim: serving /debug/vars and /debug/pprof on %s\n", *debugAddr)
+		fmt.Printf("fleetsim: serving /debug/vars, /metrics, and /debug/pprof on %s\n", *debugAddr)
 	}
 
 	fmt.Printf("fleetsim: %d nodes x %d reports, seed %d, link{drop %.2f dup %.2f reorder %.2f corrupt %.2f delay<=%d}, crash-every %d, durable %v, collector-crashes %v\n",
@@ -160,8 +195,11 @@ func run() int {
 	// crashes (the chaos run with restarts must still converge to it).
 	lossless.CollectorCrashes = nil
 	// The baseline gets no plane: reusing the chaos run's registry
-	// would double-charge the odometer channels.
+	// would double-charge the odometer channels, and reusing its
+	// flight ring would collide span keys across runs.
 	lossless.Obs = nil
+	lossless.Flight = nil
+	lossless.Burn = nil
 	baseline, err := fleet.Run(lossless)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim: lossless baseline:", err)
@@ -194,6 +232,14 @@ func run() int {
 				odo.TotalNats, len(odo.ChannelMicroNats), odo.Charges)
 		}
 	}
+	if *traceFile != "" {
+		bad += writeTrace(*traceFile, chaos, cfg.Durable)
+	}
+	if chaos.BurnAlert {
+		fmt.Fprintf(os.Stderr, "fleetsim: burn alert: odometer burn exceeded plan (tripped at %d µnat of a %d µnat envelope)\n",
+			chaos.Burn.TrippedAtMicroNats, obs.MicroNats(float64(cfg.Nodes*cfg.Reports)*fleet.PerReportCapNats))
+		bad++
+	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "fleetsim: FAIL: %d violation(s)\n", bad)
 		return 1
@@ -204,6 +250,68 @@ func run() int {
 		select {}
 	}
 	return 0
+}
+
+// writeTrace exports the chaos run's flight spans as Perfetto
+// trace-event JSON, self-checks the export (shape-valid JSON, a
+// complete causally ordered chain for every ACKed report), and prints
+// the per-stage latency attribution table. Returns the number of
+// violations found.
+func writeTrace(path string, r fleet.Result, durable bool) int {
+	if r.Flight == nil {
+		fmt.Fprintln(os.Stderr, "fleetsim: -tracefile: run produced no flight snapshot")
+		return 1
+	}
+	bad := 0
+	if r.Flight.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: flight recorder dropped %d spans (capacity %d) — trace is incomplete\n",
+			r.Flight.Dropped, r.Flight.Capacity)
+		bad++
+	}
+	for _, v := range obs.ValidateFlight(r.Flight, true, durable) {
+		fmt.Fprintln(os.Stderr, "fleetsim: span chain:", v)
+		bad++
+	}
+	var alerts []obs.Event
+	if r.Obs != nil {
+		for _, e := range r.Obs.Traces["trace"].Events {
+			if e.Kind == obs.EvBurnAlert {
+				alerts = append(alerts, e)
+			}
+		}
+	}
+	data, err := obs.PerfettoJSON(r.Flight, alerts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim: trace export:", err)
+		return bad + 1
+	}
+	for _, v := range obs.ValidatePerfettoJSON(data) {
+		fmt.Fprintln(os.Stderr, "fleetsim: trace shape:", v)
+		bad++
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim: trace write:", err)
+		return bad + 1
+	}
+	acked := 0
+	for _, v := range r.Flight.Spans {
+		if v.Acked() {
+			acked++
+		}
+	}
+	fmt.Printf("fleetsim: wrote %d spans (%d acked) to %s — load at ui.perfetto.dev\n",
+		len(r.Flight.Spans), acked, path)
+
+	rows := obs.Attribute(r.Flight)
+	if len(rows) > 0 {
+		fmt.Println("fleetsim: stage latency attribution (µs, stratified by retransmits):")
+		fmt.Printf("  %-28s %-6s %8s %10s %10s %10s\n", "transition", "retx", "count", "p50", "p95", "p99")
+		for _, row := range rows {
+			fmt.Printf("  %-28s %-6s %8d %10.1f %10.1f %10.1f\n",
+				row.Transition, row.Stratum, row.Count, row.P50, row.P95, row.P99)
+		}
+	}
+	return bad
 }
 
 // parseSchedule parses the -collectorcrash flag: a comma-separated,

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ulpdp/internal/obs"
 	"ulpdp/internal/transport"
 )
 
@@ -710,6 +711,11 @@ func (sh *shard) handleLocked(id transport.NodeID, ns *nodeState, pkt transport.
 			m.Duplicates.Inc()
 		}
 	} else {
+		// The shard has decided to admit: stamp before the durable
+		// append so the admit→checkpoint transition is attributable.
+		if m != nil {
+			m.Flight.Record(int64(id), pkt.Seq, obs.StageAdmit)
+		}
 		if sh.j != nil {
 			var aflags uint16
 			if pkt.Flags&transport.FlagFromCache != 0 {
@@ -728,6 +734,7 @@ func (sh *shard) handleLocked(id transport.NodeID, ns *nodeState, pkt transport.
 			sh.sinceCompact++
 			if m != nil {
 				m.CheckpointBytes.Add(2 * admissionWords)
+				m.Flight.Record(int64(id), pkt.Seq, obs.StageCheckpoint)
 			}
 		}
 		ns.store.put(pkt.Seq, pkt.Value)

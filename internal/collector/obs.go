@@ -44,6 +44,11 @@ type Metrics struct {
 
 	QueueDepth *obs.Gauge
 	Trace      *obs.Trace
+
+	// Flight, when non-nil, receives shard-admit and checkpoint-commit
+	// span stamps keyed by (node, seq). Wired by the fleet; nil keeps
+	// every stamp a single nil check.
+	Flight *obs.FlightRecorder
 }
 
 // NewMetrics registers (or re-binds) the collector metric schema.

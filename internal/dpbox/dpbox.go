@@ -27,6 +27,7 @@ import (
 	"ulpdp/internal/cordic"
 	"ulpdp/internal/fault"
 	"ulpdp/internal/laplace"
+	"ulpdp/internal/obs"
 	"ulpdp/internal/urng"
 )
 
@@ -1039,6 +1040,9 @@ func (b *DPBox) finish(y, chargeU int64, fromCache bool) {
 			return
 		}
 		b.recordRelease(b.armedSeq, rel)
+		if m := b.obs; m != nil {
+			m.Flight.Record(int64(b.obsCh), b.armedSeq, obs.StageJournal)
+		}
 		b.seqArmed = false
 		if !fromCache {
 			b.cache = y
@@ -1166,6 +1170,7 @@ func (b *DPBox) NoiseValueSeq(seq uint64, x int64) (NoiseResult, error) {
 		if m := b.obs; m != nil {
 			m.SeqReplays.Inc()
 			m.Trace.Emit(EvSeqReplay, b.cycles, int64(b.obsCh), int64(seq), rel.Value)
+			m.Flight.Record(int64(b.obsCh), seq, obs.StageReplayed)
 		}
 		return NoiseResult{
 			Value:     rel.Value,

@@ -81,6 +81,12 @@ type Metrics struct {
 
 	// Trace is the shared event ring (kinds Ev*).
 	Trace *obs.Trace
+
+	// Flight, when non-nil, receives per-report span stamps (journal
+	// commit, replay) keyed by (ObsChannel, seq). It is wired by the
+	// fleet, not registered here: a nil recorder keeps every stamp a
+	// single nil check.
+	Flight *obs.FlightRecorder
 }
 
 // NewMetrics registers (or re-binds, idempotently) the DP-Box metric

@@ -87,6 +87,16 @@ type Config struct {
 	// and the run checks — live, after every report — that the fleet's
 	// cumulative spend stays under the certified n·ε envelope.
 	Obs *obs.Registry
+	// Flight, when non-nil (requires Obs), attaches the per-report
+	// flight recorder to every layer: each report's causal span —
+	// noised → journal commit → tx attempts → link rx → shard admit →
+	// checkpoint commit → ack — is stamped as it happens, keyed by
+	// (node, seq). Purely observational: results stay bit-exact.
+	Flight *obs.FlightRecorder
+	// Burn, when non-nil (requires Obs), attaches the privacy
+	// burn-rate alerter to the odometer's charge stream; its latched
+	// status surfaces as Result.BurnAlert.
+	Burn *obs.BurnAlerter
 }
 
 // NodeResult is the per-node evidence the invariants are checked
@@ -129,6 +139,16 @@ type Result struct {
 	// Obs is the final telemetry snapshot (nil unless Config.Obs was
 	// set).
 	Obs *obs.Snapshot
+	// Flight is the flight recorder's final snapshot (nil unless
+	// Config.Flight was set), taken after the run quiesced so every
+	// ACKed report's span chain is complete.
+	Flight *obs.FlightSnapshot
+	// Burn is the burn-rate alerter's final state (nil unless
+	// Config.Burn was set).
+	Burn *obs.BurnSnapshot
+	// BurnAlert reports that the burn-rate alerter tripped at any
+	// point during the run (latched; false without Config.Burn).
+	BurnAlert bool
 }
 
 // splitmix64 derives independent sub-seeds from the master seed.
@@ -291,6 +311,16 @@ func (s *colSupervisor) finish() (*collector.Collector, int) {
 	return s.col, s.recoveries
 }
 
+// frameEvents sums the collector counters that advance only when a
+// report frame is processed — the quiesce loop's progress signal.
+// Idle-tick timeouts are deliberately excluded: they tick forever.
+func (s *colSupervisor) frameEvents() uint64 {
+	s.mu.Lock()
+	st := s.col.Stats()
+	s.mu.Unlock()
+	return st.Accepted + st.Duplicates + st.BreakerDrops + st.FailClosed
+}
+
 func (s *colSupervisor) close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -303,6 +333,10 @@ func (s *colSupervisor) close() {
 // or not) at Mult·ε = 1 nat. After k reports a node's odometer can
 // therefore never exceed min(Budget, k·perReportCapNats).
 const perReportCapNats = 1.0
+
+// PerReportCapNats exports the certified per-report cap for callers
+// sizing burn-rate envelopes (fleetsim) against Config.Nodes·Reports.
+const PerReportCapNats = perReportCapNats
 
 // boxConfig is the fleet's common DP-Box shape. All nodes share one
 // metrics plane; node i charges odometer channel ch = i so the shared
@@ -355,6 +389,22 @@ func Run(cfg Config) (Result, error) {
 		linkM = transport.NewMetrics(cfg.Obs)
 		nodeM = node.NewMetrics(cfg.Obs)
 		colM = collector.NewMetrics(cfg.Obs)
+		// The flight/burn instrument names are part of the fleet metric
+		// schema whether or not a recorder/alerter is attached, so the
+		// golden schema test pins them unconditionally.
+		flightM := obs.NewFlightMetrics(cfg.Obs)
+		burnM := obs.NewBurnMetrics(cfg.Obs)
+		if cfg.Flight != nil {
+			cfg.Flight.SetMetrics(flightM)
+			boxM.Flight = cfg.Flight
+			linkM.Flight = cfg.Flight
+			nodeM.Flight = cfg.Flight
+			colM.Flight = cfg.Flight
+		}
+		if cfg.Burn != nil {
+			cfg.Burn.Bind(burnM, boxM.Trace)
+			boxM.Odometer.SetBurn(cfg.Burn)
+		}
 	}
 
 	res := Result{Nodes: make([]NodeResult, cfg.Nodes)}
@@ -561,6 +611,15 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	// Quiesce before the final recovery check and reads: every report
+	// is ACKed, but stale duplicate frames can still be in flight (or
+	// held back for reordering), and processing them after the final
+	// snapshot would make recover/replay counters and span chains
+	// timing-dependent. Wait for the uplinks to drain and the
+	// collector's frame-driven counters to stop moving, so identical
+	// seeds yield identical final snapshots.
+	quiesce(ctx, links, sup)
+
 	// Final reads go through the supervisor: the collector in place now
 	// may be the n-th recovered instance, and its recovered state must
 	// carry everything any of its predecessors ever ACKed.
@@ -590,7 +649,44 @@ func Run(cfg Config) (Result, error) {
 		snap := cfg.Obs.Snapshot()
 		res.Obs = &snap
 	}
+	res.Flight = cfg.Flight.Snapshot()
+	if cfg.Burn != nil {
+		res.Burn = cfg.Burn.Snapshot()
+		res.BurnAlert = res.Burn.Tripped
+	}
 	return res, nil
+}
+
+// quiesce polls until the air is silent — no frames queued or held on
+// any uplink — and the collector's frame-driven counters (accepted,
+// duplicates, breaker drops, fail-closed; idle-tick timeouts excluded,
+// they never stop) hold still for a few consecutive samples. Bounded
+// by the run deadline and a small grace window: quiescence is a
+// determinism aid, not a liveness requirement.
+func quiesce(ctx context.Context, links []*transport.Link, sup *colSupervisor) {
+	deadline := time.Now().Add(100 * time.Millisecond)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	prev := sup.frameEvents()
+	settle := 0
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		pending := 0
+		for _, l := range links {
+			pending += l.CollectorEnd().Pending()
+		}
+		cur := sup.frameEvents()
+		if pending == 0 && cur == prev {
+			settle++
+			if settle >= 3 {
+				return
+			}
+		} else {
+			settle = 0
+		}
+		prev = cur
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // releasesOf copies a box's in-memory release cache.

@@ -22,6 +22,10 @@ var goldenNames = []string{
 	"budget.journal.replenishes",
 	"budget.odometer",
 	"budget.replenishes",
+	"burn.alert_active",
+	"burn.alerts",
+	"burn.fast_burn_milli",
+	"burn.slow_burn_milli",
 	"collector.accepted",
 	"collector.backpressure",
 	"collector.breaker.closed",
@@ -46,6 +50,10 @@ var goldenNames = []string{
 	"dpbox.seq_replays",
 	"dpbox.transactions",
 	"dpbox.urng_draws",
+	"flight.spans_completed",
+	"flight.spans_dropped",
+	"flight.spans_open",
+	"flight.stage_events",
 	"node.abandoned",
 	"node.backoff_ns",
 	"node.report_latency_us",

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ulpdp/internal/dpbox"
+	"ulpdp/internal/obs"
 	"ulpdp/internal/transport"
 )
 
@@ -152,8 +153,11 @@ func (a *ReportAgent) backoff(k int) time.Duration {
 func (a *ReportAgent) Report(ctx context.Context, x int64) (ReportOutcome, error) {
 	seq := a.next
 	var noisedAt time.Time
-	if a.cfg.Obs != nil {
+	if m := a.cfg.Obs; m != nil {
 		noisedAt = time.Now()
+		// The span opens before the noising transaction so the journal
+		// commit inside it lands after the noised stamp.
+		m.Flight.Record(int64(a.cfg.ID), seq, obs.StageNoised)
 	}
 	res, err := a.box.NoiseValueSeq(seq, x)
 	if err != nil {
@@ -163,6 +167,9 @@ func (a *ReportAgent) Report(ctx context.Context, x int64) (ReportOutcome, error
 	if m := a.cfg.Obs; m != nil {
 		m.Reports.Inc()
 		m.Trace.Emit(EvNoised, a.box.Cycles(), int64(a.cfg.ID), int64(seq), res.Value)
+		if res.Degraded {
+			m.Flight.Record(int64(a.cfg.ID), seq, obs.StageDegraded)
+		}
 	}
 
 	out := ReportOutcome{
@@ -242,6 +249,9 @@ func (a *ReportAgent) deliver(ctx context.Context, pkt transport.Packet, budget 
 		if err != nil {
 			m.Abandoned.Inc()
 			m.Trace.Emit(EvAbandoned, a.box.Cycles(), int64(a.cfg.ID), int64(pkt.Seq), int64(attempts))
+			m.Flight.Record(int64(a.cfg.ID), pkt.Seq, obs.StageAbandoned)
+		} else {
+			m.Flight.Record(int64(a.cfg.ID), pkt.Seq, obs.StageAck)
 		}
 	}
 	return attempts, err
@@ -253,6 +263,9 @@ func (a *ReportAgent) deliverLoop(ctx context.Context, pkt transport.Packet, bud
 	for attempt := 1; attempt <= budget; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return attempt - 1, fmt.Errorf("node: delivering seq %d: %w", pkt.Seq, err)
+		}
+		if m := a.cfg.Obs; m != nil {
+			m.Flight.Record(int64(a.cfg.ID), pkt.Seq, obs.StageTx)
 		}
 		a.end.Send(pkt)
 		if a.awaitAck(ctx, pkt.Seq) {

@@ -27,6 +27,11 @@ type Metrics struct {
 	BackoffNs   *obs.Counter   // total backoff slept, nanoseconds
 	LatencyUs   *obs.Histogram // noise → ACK end-to-end span, µs
 	Trace       *obs.Trace
+
+	// Flight, when non-nil, receives per-report span stamps (noised,
+	// tx attempts, ack, degraded, abandoned) keyed by (node, seq).
+	// Wired by the fleet; nil keeps every stamp a single nil check.
+	Flight *obs.FlightRecorder
 }
 
 // NewMetrics registers (or re-binds) the node agent metric schema.

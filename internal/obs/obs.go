@@ -121,6 +121,7 @@ type Odometer struct {
 	total    atomic.Int64
 	charges  atomic.Uint64
 	repl     atomic.Uint64
+	burn     atomic.Pointer[BurnAlerter] // optional burn-rate sink
 }
 
 // MicroNats converts nats to the odometer's integer resolution.
@@ -137,9 +138,17 @@ func (o *Odometer) Charge(ch int, nats float64) {
 	}
 	u := MicroNats(nats)
 	o.channels[ch].Add(u)
-	o.total.Add(u)
+	t := o.total.Add(u)
 	o.charges.Add(1)
+	if ba := o.burn.Load(); ba != nil {
+		ba.observe(ch, u, t)
+	}
 }
+
+// SetBurn attaches (or detaches, with nil) a burn-rate alerter: every
+// subsequent Charge is folded into its sliding windows. Without a
+// sink, the extra cost is one atomic pointer load per charge.
+func (o *Odometer) SetBurn(ba *BurnAlerter) { o.burn.Store(ba) }
 
 // Replenish counts one budget refill event. The cumulative spend is
 // untouched: replenishment restores the ledger, not history.
@@ -431,6 +440,90 @@ type HistogramSnapshot struct {
 	Count uint64 `json:"count"`
 	// Sum is the sum of all observed values.
 	Sum int64 `json:"sum"`
+}
+
+// Quantile estimates the q-quantile (q in [0, 1], clamped) by linear
+// interpolation inside the target bucket, the standard Prometheus
+// histogram_quantile estimator. Special cases keep it honest at the
+// edges:
+//
+//   - an empty histogram returns NaN (as does a NaN q);
+//   - when all mass sits in a single bucket, the mean Sum/Count —
+//     exact for a constant stream — is returned, clamped into the
+//     bucket;
+//   - mass in the overflow bucket pins the estimate to the last bound
+//     (the histogram cannot see further).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	occupied, multi := -1, false
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if occupied >= 0 {
+			multi = true
+			break
+		}
+		occupied = i
+	}
+	if !multi {
+		lo, hi := s.bucketEdges(occupied)
+		mean := float64(s.Sum) / float64(s.Count)
+		if mean < lo {
+			return lo
+		}
+		if mean > hi {
+			return hi
+		}
+		return mean
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo, hi := s.bucketEdges(i)
+			if i == len(s.Counts)-1 {
+				return hi // overflow bucket: pin to the last bound
+			}
+			return lo + (hi-lo)*(target-cum)/float64(c)
+		}
+		cum = next
+	}
+	_, hi := s.bucketEdges(len(s.Counts) - 1)
+	return hi
+}
+
+// bucketEdges returns bucket i's [lower, upper] value range. The first
+// bucket's lower edge is 0 for non-negative bound sets (the common
+// latency/count case) and the bound itself otherwise; the overflow
+// bucket collapses to the last bound.
+func (s HistogramSnapshot) bucketEdges(i int) (lo, hi float64) {
+	last := float64(s.Bounds[len(s.Bounds)-1])
+	if i >= len(s.Bounds) {
+		return last, last
+	}
+	hi = float64(s.Bounds[i])
+	switch {
+	case i > 0:
+		lo = float64(s.Bounds[i-1])
+	case s.Bounds[0] >= 0:
+		lo = 0
+	default:
+		lo = hi
+	}
+	return lo, hi
 }
 
 // OdometerSnapshot is one odometer's frozen state.

@@ -16,6 +16,11 @@ type Metrics struct {
 	Corrupted       *obs.Counter
 	Overflow        *obs.Counter
 	RejectedCorrupt *obs.Counter
+
+	// Flight, when non-nil, receives a link-rx span stamp for every
+	// report frame copy that lands in a receive ring. Wired by the
+	// fleet; nil keeps the stamp a single nil check.
+	Flight *obs.FlightRecorder
 }
 
 // NewMetrics registers (or re-binds) the transport metric schema.

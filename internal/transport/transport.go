@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"ulpdp/internal/fault"
+	"ulpdp/internal/obs"
 )
 
 // NodeID identifies one fleet node.
@@ -359,6 +360,7 @@ func (e *Endpoint) Send(p Packet) {
 		}
 		return
 	}
+	selfLanded := 0
 	if fate.Delay > 0 {
 		p2.held = append(p2.held, held{frame: buf, remaining: fate.Delay})
 		l.stats.reordered.Add(1)
@@ -366,16 +368,28 @@ func (e *Endpoint) Send(p Packet) {
 			m.Reordered.Inc()
 		}
 	} else {
-		landed += e.enqueueLocked(p2, buf)
+		n := e.enqueueLocked(p2, buf)
+		landed += n
+		selfLanded += n
 	}
 	for i := 0; i < fate.Duplicates; i++ {
 		d := framePool.Get().(*frame)
 		*d = *buf
-		landed += e.enqueueLocked(p2, d)
+		n := e.enqueueLocked(p2, d)
+		landed += n
+		selfLanded += n
 		l.stats.duplicated.Add(1)
 		if m := l.obs; m != nil {
 			m.Duplicated.Inc()
 		}
+	}
+	// A receivable copy of a report landed: stamp its span's link-rx
+	// stage (p still holds the pre-corruption identity). The stamp must
+	// precede the mutex release — the receiver can pop the frame the
+	// instant the pipe unlocks, and the shard-admit stamp must not be
+	// able to land before this one.
+	if m := l.obs; m != nil && selfLanded > 0 && !fate.Corrupt && p.Kind == KindReport {
+		m.Flight.Record(int64(p.Node), p.Seq, obs.StageLinkRx)
 	}
 	fn := p2.notify
 	p2.mu.Unlock()
@@ -392,13 +406,34 @@ func (e *Endpoint) ageHeldLocked(p *pipe) int {
 	for _, h := range p.held {
 		h.remaining--
 		if h.remaining <= 0 {
-			landed += e.enqueueLocked(p, h.frame)
+			landed += e.landHeldLocked(p, h.frame)
 		} else {
 			kept = append(kept, h)
 		}
 	}
 	p.held = kept
 	return landed
+}
+
+// landHeldLocked delivers a held-back frame, stamping its report
+// span's link-rx stage when a flight recorder is attached. The frame
+// must be decoded *before* it enters the ring: once enqueued, the
+// receiver owns the buffer and may return it to the pool. Held frames
+// are rare (reorder chaos only), so the extra decode stays off the
+// healthy path. Callers hold p.mu.
+func (e *Endpoint) landHeldLocked(p *pipe, f *frame) int {
+	var pk Packet
+	stamp := false
+	if m := e.link.obs; m != nil && m.Flight != nil {
+		if q, err := Unmarshal(f[:]); err == nil && q.Kind == KindReport {
+			pk, stamp = q, true
+		}
+	}
+	n := e.enqueueLocked(p, f)
+	if n == 1 && stamp {
+		e.link.obs.Flight.Record(int64(pk.Node), pk.Seq, obs.StageLinkRx)
+	}
+	return n
 }
 
 // enqueueLocked pushes a frame into the receive ring, dropping on
@@ -443,7 +478,7 @@ func (e *Endpoint) flushHeld() {
 	p.mu.Lock()
 	landed := 0
 	for _, h := range p.held {
-		landed += e.enqueueLocked(p, h.frame)
+		landed += e.landHeldLocked(p, h.frame)
 	}
 	p.held = nil
 	fn := p.notify
@@ -487,6 +522,16 @@ func (e *Endpoint) Recv(timeout time.Duration) (Packet, bool) {
 			return e.TryRecv()
 		}
 	}
+}
+
+// Pending reports the number of frames queued or held back on this
+// end's receive direction — the fleet's quiesce loop polls it to know
+// when the air has gone truly silent before taking final snapshots.
+func (e *Endpoint) Pending() int {
+	p := e.recvPipe
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n + len(p.held)
 }
 
 // TryRecv is Recv without waiting: it drains at most the frames
