@@ -5,6 +5,7 @@
 //
 //	dpboxsim [-budget N] [-replenish N] [-bu N] [-by N] [-mult F]
 //	         [-health N] [-stuck W] [-vcd FILE] [-metrics] [-debug ADDR]
+//	         [-nvmdir DIR]
 //
 // Then one command per line on stdin:
 //
@@ -17,6 +18,11 @@
 //	status              show phase, budget, threshold, cycles
 //	metrics             print the telemetry snapshot (needs -metrics)
 //	quit
+//
+// -nvmdir backs the budget journal with the file-based NVM medium
+// under DIR: killing the session and rerunning with the same DIR
+// secure-boots from the journal — budget spend, the release window,
+// and sequence numbering all survive the restart.
 //
 // -metrics attaches the telemetry plane (privacy odometer, counters,
 // trace ring) and prints its final JSON snapshot when the session
@@ -68,6 +74,7 @@ func run() int {
 	stuck := flag.Int("stuck", -1, "inject a stuck-word URNG fault with this word (-1 = off)")
 	metrics := flag.Bool("metrics", false, "attach the telemetry plane and print its JSON snapshot on exit")
 	debugAddr := flag.String("debug", "", "serve /debug/vars (expvar), /metrics (Prometheus), and /debug/pprof at this address; implies -metrics")
+	nvmdir := flag.String("nvmdir", "", "back the budget journal with file-based NVM under this directory; reopening resumes the prior session's ledger and release window")
 	flag.Parse()
 
 	cfg := ulpdp.DPBoxConfig{Bu: *bu, By: *by, Mult: *mult, HealthEvery: *health}
@@ -96,7 +103,25 @@ func run() int {
 		fp.SetURNGFault(fault.StuckWord(uint32(*stuck)))
 		cfg.Faults = fp
 	}
-	box, err := ulpdp.NewDPBox(cfg)
+	var jnl *ulpdp.DPBoxJournal
+	if *nvmdir != "" {
+		j, err := ulpdp.OpenDPBoxJournal(*nvmdir)
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		jnl = j
+		cfg.Journal = jnl
+	}
+	var box *ulpdp.DPBox
+	var err error
+	if jnl != nil && jnl.Writes() > 0 {
+		// Durable state from a previous session: secure-boot from the
+		// journal instead of re-initializing (which would reset spend).
+		box, err = ulpdp.RecoverDPBox(cfg, jnl)
+	} else {
+		box, err = ulpdp.NewDPBox(cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -117,11 +142,16 @@ func run() int {
 			f.Close()
 		}()
 	}
-	if err := box.Initialize(*budgetNats, *replenish); err != nil {
-		fatal(err)
-	}
 	s := &session{box: box, out: bufio.NewWriter(os.Stdout), reg: reg}
-	s.printf("DP-Box initialized: budget %.2f nats, replenish every %d cycles\n", *budgetNats, *replenish)
+	if box.Phase() == ulpdp.DPBoxPhaseInit {
+		if err := box.Initialize(*budgetNats, *replenish); err != nil {
+			fatal(err)
+		}
+		s.printf("DP-Box initialized: budget %.2f nats, replenish every %d cycles\n", *budgetNats, *replenish)
+	} else {
+		s.printf("DP-Box recovered from %s: budget %.3f nats remaining, next seq %d\n",
+			*nvmdir, box.BudgetRemaining(), box.NextSeq())
+	}
 	s.printf("configure with `eps <shift>` and `range <lo> <hi>`, then `noise <x>`\n")
 
 	sc := bufio.NewScanner(os.Stdin)

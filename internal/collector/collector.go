@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ulpdp/internal/nvm"
 	"ulpdp/internal/obs"
 	"ulpdp/internal/transport"
 )
@@ -345,7 +346,7 @@ func NewDurable(cfg Config, store *Store) (*Collector, error) {
 	if store == nil {
 		return nil, errors.New("collector: NewDurable requires a store")
 	}
-	if !store.empty() {
+	if !store.Empty() {
 		return nil, errors.New("collector: store holds prior state; use Recover")
 	}
 	for i, j := range store.shards {
@@ -790,7 +791,7 @@ func (sh *shard) compactLocked() {
 	sh.sinceCompact = 0
 	if m := sh.c.cfg.Obs; m != nil {
 		m.Compactions.Inc()
-		m.CheckpointBytes.Add(uint64(2 * len(sh.j.banks[sh.j.live])))
+		m.CheckpointBytes.Add(uint64(2 * sh.j.liveLen()))
 	}
 }
 
@@ -847,6 +848,28 @@ func (c *Collector) Stats() Stats {
 		sh.mu.Unlock()
 	}
 	return total
+}
+
+// NVMStats aggregates the checkpoint store's engine statistics under
+// the shard locks, so it is safe while the reactors are live. A
+// volatile collector returns the zero Stats.
+func (c *Collector) NVMStats() nvm.Stats {
+	if c.store == nil {
+		return nvm.Stats{}
+	}
+	agg := nvm.Stats{
+		Banks:      c.store.med.Banks(),
+		Writes:     c.store.Writes(),
+		FailClosed: c.store.Dead(),
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st := sh.j.r.Stats()
+		sh.mu.Unlock()
+		agg.Words += st.Words
+		agg.Compactions += st.Compactions
+	}
+	return agg
 }
 
 // Node returns the query view for one node: the freshest value, or

@@ -2,34 +2,16 @@ package collector
 
 import (
 	"testing"
+
+	"ulpdp/internal/nvm/nvmtest"
 )
 
-// wordsToBytes flattens a journal bank for use as a fuzz corpus seed.
-func wordsToBytes(w []uint16) []byte {
-	out := make([]byte, 0, 2*len(w))
-	for _, x := range w {
-		out = append(out, byte(x), byte(x>>8))
-	}
-	return out
-}
-
-// bytesToWords is the inverse: an odd trailing byte is a torn word and
-// is dropped, as NVM would.
-func bytesToWords(b []byte) []uint16 {
-	out := make([]uint16, 0, len(b)/2)
-	for i := 0; i+1 < len(b); i += 2 {
-		out = append(out, uint16(b[i])|uint16(b[i+1])<<8)
-	}
-	return out
-}
-
 // fuzzJournal builds a standalone journal whose two banks hold the
-// given raw words, powered and ready to replay.
+// given raw fuzz bytes (an odd trailing byte is a torn word and is
+// dropped, as NVM would), powered and ready to replay.
 func fuzzJournal(a, b []byte) *Journal {
-	j := &Journal{pw: &power{}}
-	j.pw.failAfter.Store(-1)
-	j.banks[0] = bytesToWords(a)
-	j.banks[1] = bytesToWords(b)
+	j := NewStore(1).Shard(0)
+	j.loadBanks(nvmtest.BytesToWords(a), nvmtest.BytesToWords(b))
 	return j
 }
 
@@ -50,12 +32,12 @@ func FuzzCollectorCheckpoint(f *testing.F) {
 		j.appendAdmission(a.node, a.seq, a.val, 0)
 		st.admit(a.node, a.seq, a.val, 0)
 	}
-	live := wordsToBytes(j.banks[j.live])
+	live := nvmtest.WordsToBytes(j.r.Words(j.bk.Live()))
 	f.Add(live, []byte{})
 	f.Add(live[:len(live)-3], []byte{})
 	f.Add(live[:17], live)
 	j.compact(st.nodes, st.stores)
-	f.Add(wordsToBytes(j.banks[j.live]), live)
+	f.Add(nvmtest.WordsToBytes(j.r.Words(j.bk.Live())), live)
 	flipped := append([]byte(nil), live...)
 	flipped[len(flipped)/2] ^= 0x10
 	f.Add(flipped, []byte{})

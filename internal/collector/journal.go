@@ -3,13 +3,14 @@ package collector
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
+
+	"ulpdp/internal/nvm"
 )
 
 // This file is the collector's crash-consistency plane: a per-shard
-// durable checkpoint/WAL in the same 16-bit-word NVM model as the
-// DP-Box budget journal (internal/dpbox/journal.go), plus the replay
-// and compaction machinery Collector.Recover builds on.
+// durable checkpoint/WAL built on the shared internal/nvm engine (the
+// same 16-bit-word media model as the DP-Box budget journal), plus
+// the replay and compaction machinery Collector.Recover builds on.
 //
 // Each shard owns one Journal. An admission — the first time a shard
 // records a (node, seq, value) — is journaled with the two-phase
@@ -26,23 +27,24 @@ import (
 // exactly-once contract now holds across collector restarts, not just
 // node crashes and lossy links.
 //
-// Compaction is double-banked like real flash. A Journal holds two
-// banks; the live bank starts with a generation-tagged snapshot
-// (snapBegin gen … snapEnd gen) of every node's valueStore bitmap +
-// values + breaker state, followed by the admissions since. Compaction
-// writes gen+1's snapshot into the idle bank and only a durable
-// snapEnd makes it the live bank — a crash mid-compaction leaves the
-// old bank complete and loses nothing. Recovery picks the bank with
-// the highest complete snapshot, replays it plus its admission tail
-// (a torn tail record is indistinguishable from "never written" and
-// is dropped — it was never ACKed), and refuses the shard outright on
-// mid-log corruption, an invalid tag, or a bank with no complete
-// snapshot: fail closed, like budget.Bank on a dead journal, because
-// a silently shortened log would re-admit (double-count) replays of
-// reports it had already ACKed.
+// Compaction is double-banked like real flash (nvm.Banked). A Journal
+// holds two banks; the live bank starts with a generation-tagged
+// snapshot (snapBegin gen … snapEnd gen) of every node's valueStore
+// bitmap + values + breaker state, followed by the admissions since.
+// Compaction writes gen+1's snapshot into the idle bank and only a
+// durable snapEnd makes it the live bank — a crash mid-compaction
+// leaves the old bank complete and loses nothing. Recovery picks the
+// bank with the highest complete snapshot, replays it plus its
+// admission tail (a torn tail record is indistinguishable from "never
+// written" and is dropped — it was never ACKed), and refuses the
+// shard outright on mid-log corruption, an invalid tag, or a bank
+// with no complete snapshot: fail closed, like budget.Bank on a dead
+// journal, because a silently shortened log would re-admit
+// (double-count) replays of reports it had already ACKed.
 
 // journal record tags (the collector's own tag space; the format
-// mirrors dpbox: hdr = tag<<12 | seq, payload words, xor checksum).
+// mirrors dpbox: hdr = tag<<12 | seq, payload words, xor checksum
+// salted nvm.SaltCheckpoint).
 const (
 	ckTagSnapBegin = 1 // payload gen(4)
 	ckTagSnapNode  = 2 // payload node(1) breaker(1) stateFlags(1) consecFail(1) openLeft(1) lastSeq(4) lastValue(4)
@@ -62,8 +64,6 @@ const (
 // admission flags bits (ckTagRecord): the transport report flags the
 // shard's last-ACK cache depends on.
 const admFlagFromCache = 1 << 0
-
-const ckChkSalt = 0xC011 // distinct salt: a collector record never replays as a dpbox one
 
 // ckPayloadLen returns the payload word count for a tag, or -1 for an
 // unknown tag (which recovery treats as corruption, not truncation).
@@ -85,99 +85,35 @@ func ckPayloadLen(tag uint16) int {
 	return -1
 }
 
-func ckChecksum(hdr uint16, payload []uint16) uint16 {
-	c := hdr ^ uint16(ckChkSalt)
-	for _, w := range payload {
-		c ^= w
-	}
-	return c
-}
-
-func ckEnc64(v int64) [4]uint16 {
-	u := uint64(v)
-	return [4]uint16{uint16(u), uint16(u >> 16), uint16(u >> 32), uint16(u >> 48)}
-}
-
-func ckDec64(w []uint16) int64 {
-	return int64(uint64(w[0]) | uint64(w[1])<<16 | uint64(w[2])<<32 | uint64(w[3])<<48)
+// ckLayout is the checkpoint store's record dialect over the shared
+// engine.
+func ckLayout() nvm.Layout {
+	return nvm.Layout{Salt: nvm.SaltCheckpoint, PayloadLen: ckPayloadLen}
 }
 
 // admissionWords is the durable cost of one admission: intent
 // (hdr+5+chk) + record (hdr+5+chk) + commit (hdr+chk).
 const admissionWords = 7 + 7 + 2
 
-// power is the store-wide NVM supply shared by every shard journal: a
-// collector crash takes all shards down between two word writes, so
-// the fail countdown is global, not per shard. Shards journal
-// concurrently and every admission costs 16 permit checks, so the
-// cell is lock-free: with no failure armed (the steady state) a
-// permit is one load and one relaxed counter bump, never a shared
-// mutex across the reactors.
-type power struct {
-	failAfter atomic.Int64 // remaining allowed word writes; -1 = no scheduled failure
-	dead      atomic.Bool
-	writes    atomic.Uint64 // total durable words across every shard and bank
-}
-
-// allow consumes one word-write permit, honouring a scheduled failure.
-func (p *power) allow() bool {
-	if p.dead.Load() {
-		return false
-	}
-	for {
-		n := p.failAfter.Load()
-		if n < 0 {
-			p.writes.Add(1)
-			return true
-		}
-		if n == 0 {
-			p.dead.Store(true)
-			return false
-		}
-		if p.failAfter.CompareAndSwap(n, n-1) {
-			p.writes.Add(1)
-			return true
-		}
-	}
-}
-
-// Journal is one shard's durable checkpoint region: two word banks
-// and a 12-bit record sequence. All mutation happens under the owning
-// shard's lock (or single-threaded recovery); only the power cell is
-// shared.
+// Journal is one shard's durable checkpoint region: a two-bank slice
+// of the store's medium plus the double-banked generation state. All
+// mutation happens under the owning shard's lock (or single-threaded
+// recovery); only the power cell is shared.
 type Journal struct {
-	pw    *power
-	banks [2][]uint16
-	live  int    // bank holding the current snapshot + admission tail
-	gen   int64  // generation of the live bank's snapshot
-	seq   uint16 // 12-bit record pairing sequence
+	r  *nvm.Region
+	bk *nvm.Banked
 }
 
-// put appends one word to bank b, honouring the store power. It
-// reports whether the word became durable.
-func (j *Journal) put(b int, w uint16) bool {
-	if !j.pw.allow() {
-		return false
-	}
-	j.banks[b] = append(j.banks[b], w)
-	return true
+// newJournal carves shard i's two banks out of the store medium.
+func newJournal(med nvm.Medium, pw *nvm.Power, i int) *Journal {
+	r := nvm.NewRegionBanks(med, pw, ckLayout(), 2*i, 2)
+	return &Journal{r: r, bk: nvm.NewBanked(r)}
 }
 
-// appendRecord writes hdr, payload and checksum word by word into
-// bank b. False means power failed partway: the tail is torn and the
-// store dead.
+// appendRecord writes one record into (region-relative) bank b. False
+// means power failed partway: the tail is torn and the store dead.
 func (j *Journal) appendRecord(b int, tag uint16, payload []uint16) bool {
-	hdr := tag<<12 | (j.seq & 0x0FFF)
-	j.seq++
-	if !j.put(b, hdr) {
-		return false
-	}
-	for _, w := range payload {
-		if !j.put(b, w) {
-			return false
-		}
-	}
-	return j.put(b, ckChecksum(hdr, payload))
+	return j.r.Append(b, tag, payload)
 }
 
 // appendAdmission runs the two-phase admission protocol into the live
@@ -185,17 +121,44 @@ func (j *Journal) appendRecord(b int, tag uint16, payload []uint16) bool {
 // Only after it returns true may the shard apply the admission and
 // queue the ACK.
 func (j *Journal) appendAdmission(node uint16, seq uint64, value int64, flags uint16) bool {
-	s := ckEnc64(int64(seq))
-	pair := j.seq
-	if !j.appendRecord(j.live, ckTagIntent, []uint16{node, s[0], s[1], s[2], s[3]}) {
+	s := nvm.Enc64(int64(seq))
+	live := j.bk.Live()
+	pair, ok := j.r.TxnBegin(live, ckTagIntent, []uint16{node, s[0], s[1], s[2], s[3]})
+	if !ok {
 		return false
 	}
-	v := ckEnc64(value)
-	if !j.appendRecord(j.live, ckTagRecord, []uint16{v[0], v[1], v[2], v[3], flags}) {
+	v := nvm.Enc64(value)
+	if !j.r.Append(live, ckTagRecord, []uint16{v[0], v[1], v[2], v[3], flags}) {
 		return false
 	}
-	j.seq = pair // commit reuses the intent's seq for pairing
-	return j.appendRecord(j.live, ckTagCommit, nil)
+	return j.r.TxnCommit(live, ckTagCommit, pair)
+}
+
+// liveLen returns the live bank's durable word count (checkpoint-
+// bytes accounting after a compaction).
+func (j *Journal) liveLen() int { return j.r.Len(j.bk.Live()) }
+
+// loadBanks installs raw bank contents (fuzz and corruption
+// harnesses), bypassing the power cell.
+func (j *Journal) loadBanks(a, b []uint16) {
+	j.r.Erase(0)
+	j.r.Erase(1)
+	for _, w := range a {
+		_ = j.r.Medium().Append(0, w)
+	}
+	for _, w := range b {
+		_ = j.r.Medium().Append(1, w)
+	}
+}
+
+// truncateBank chops (region-relative) bank b to n words — the test
+// harness's torn-erase knife.
+func (j *Journal) truncateBank(b, n int) {
+	words := append([]uint16(nil), j.r.Words(b)[:n]...)
+	j.r.Erase(b)
+	for _, w := range words {
+		_ = j.r.Medium().Append(b, w)
+	}
 }
 
 // snapNode is one node's checkpointed metadata (everything a NodeView
@@ -274,7 +237,6 @@ var errCorruptCheckpoint = errors.New("collector: corrupt shard checkpoint")
 // checksum failure or invalid tag with the full record present — or
 // any structurally impossible sequence — is corruption.
 func (j *Journal) replayBank(b int) (st *shardState, complete bool, err error) {
-	w := j.banks[b]
 	var pendNode uint16
 	var pendSeq uint64
 	var pendPair uint16
@@ -283,26 +245,23 @@ func (j *Journal) replayBank(b int) (st *shardState, complete bool, err error) {
 	pendStage := 0 // 0 idle, 1 intent seen, 2 record seen
 	inSnap := false
 	snapDone := false
-	for i := 0; i < len(w); {
-		hdr := w[i]
-		tag, pair := hdr>>12, hdr&0x0FFF
-		n := ckPayloadLen(tag)
-		if n < 0 {
+	sc := nvm.NewScanner(ckLayout(), j.r.Words(b))
+scan:
+	for {
+		tag, pair, payload, status := sc.Next()
+		switch status {
+		case nvm.ScanRecord:
+		case nvm.ScanEnd:
+			break scan
+		case nvm.ScanTorn, nvm.ScanBadSumTail:
+			// The final record never finished (or a flip there is
+			// indistinguishable from a torn checksum word), and commit
+			// durability gates the ACK, so dropping it is the safe
+			// reading.
+			return st, snapDone, nil
+		case nvm.ScanBadTag:
 			return nil, false, fmt.Errorf("%w: invalid tag %d", errCorruptCheckpoint, tag)
-		}
-		if i+1+n+1 > len(w) {
-			return st, snapDone, nil // torn tail: the record never finished
-		}
-		payload := w[i+1 : i+1+n]
-		if w[i+1+n] != ckChecksum(hdr, payload) {
-			if i+1+n+1 == len(w) {
-				// The record's words are all present but the bank ends
-				// here: a flip in the final record and a torn write at
-				// the checksum word are indistinguishable, and the
-				// record was never ACKed-on (commit durability gates
-				// the ACK), so dropping it is the safe reading.
-				return st, snapDone, nil
-			}
+		case nvm.ScanBadSumMid:
 			return nil, false, fmt.Errorf("%w: checksum mismatch mid-log", errCorruptCheckpoint)
 		}
 		switch tag {
@@ -310,7 +269,7 @@ func (j *Journal) replayBank(b int) (st *shardState, complete bool, err error) {
 			if st != nil {
 				return nil, false, fmt.Errorf("%w: second snapshot in one bank", errCorruptCheckpoint)
 			}
-			st = newShardState(ckDec64(payload))
+			st = newShardState(nvm.Dec64(payload))
 			inSnap = true
 		case ckTagSnapNode:
 			if !inSnap {
@@ -325,20 +284,20 @@ func (j *Journal) replayBank(b int) (st *shardState, complete bool, err error) {
 			sn.exhausted = payload[2]&snapFlagExhausted != 0
 			sn.consecFail = int(payload[3])
 			sn.openLeft = int(payload[4])
-			sn.lastSeq = uint64(ckDec64(payload[5:9]))
-			sn.lastValue = ckDec64(payload[9:13])
+			sn.lastSeq = uint64(nvm.Dec64(payload[5:9]))
+			sn.lastValue = nvm.Dec64(payload[9:13])
 		case ckTagSnapVal:
 			if !inSnap {
 				return nil, false, fmt.Errorf("%w: snapshot value record outside a snapshot", errCorruptCheckpoint)
 			}
 			vs := st.store(payload[0])
-			seq := uint64(ckDec64(payload[1:5]))
+			seq := uint64(nvm.Dec64(payload[1:5]))
 			if vs.has(seq) {
 				return nil, false, fmt.Errorf("%w: duplicate snapshot value", errCorruptCheckpoint)
 			}
-			vs.put(seq, ckDec64(payload[5:9]))
+			vs.put(seq, nvm.Dec64(payload[5:9]))
 		case ckTagSnapEnd:
-			if !inSnap || ckDec64(payload) != st.gen {
+			if !inSnap || nvm.Dec64(payload) != st.gen {
 				return nil, false, fmt.Errorf("%w: unmatched snapshot end", errCorruptCheckpoint)
 			}
 			inSnap, snapDone = false, true
@@ -348,13 +307,13 @@ func (j *Journal) replayBank(b int) (st *shardState, complete bool, err error) {
 			}
 			pendStage, pendPair = 1, pair
 			pendNode = payload[0]
-			pendSeq = uint64(ckDec64(payload[1:5]))
+			pendSeq = uint64(nvm.Dec64(payload[1:5]))
 		case ckTagRecord:
 			if pendStage != 1 {
 				return nil, false, fmt.Errorf("%w: record without intent", errCorruptCheckpoint)
 			}
 			pendStage = 2
-			pendValue = ckDec64(payload[0:4])
+			pendValue = nvm.Dec64(payload[0:4])
 			pendFlags = payload[4]
 		case ckTagCommit:
 			if pendStage == 2 && pair == pendPair {
@@ -363,7 +322,6 @@ func (j *Journal) replayBank(b int) (st *shardState, complete bool, err error) {
 			}
 			pendStage = 0
 		}
-		i += 1 + n + 1
 	}
 	if inSnap {
 		// snapBegin without snapEnd and no torn record: every record
@@ -410,9 +368,8 @@ func (j *Journal) replay() (*shardState, error) {
 	}
 	// A corrupt loser bank is fine — it is about to be erased — but a
 	// corrupt *winner* was already screened out above.
-	j.live = best
-	j.gen = cands[best].st.gen
-	j.banks[1-best] = j.banks[1-best][:0]
+	j.bk.SetLive(best, cands[best].st.gen)
+	j.r.Erase(1 - best)
 	return cands[best].st, nil
 }
 
@@ -420,7 +377,7 @@ func (j *Journal) replay() (*shardState, error) {
 // bank b. It does not flip the live bank; callers do that only on
 // success.
 func (j *Journal) writeSnapshot(b int, gen int64, nodes map[uint16]*snapNode, stores map[uint16]*valueStore) bool {
-	g := ckEnc64(gen)
+	g := nvm.Enc64(gen)
 	if !j.appendRecord(b, ckTagSnapBegin, []uint16{g[0], g[1], g[2], g[3]}) {
 		return false
 	}
@@ -432,7 +389,7 @@ func (j *Journal) writeSnapshot(b int, gen int64, nodes map[uint16]*snapNode, st
 		if sn.exhausted {
 			flags |= snapFlagExhausted
 		}
-		ls, lv := ckEnc64(int64(sn.lastSeq)), ckEnc64(sn.lastValue)
+		ls, lv := nvm.Enc64(int64(sn.lastSeq)), nvm.Enc64(sn.lastValue)
 		if !j.appendRecord(b, ckTagSnapNode, []uint16{
 			id, uint16(sn.breaker), flags, uint16(sn.consecFail), uint16(sn.openLeft),
 			ls[0], ls[1], ls[2], ls[3], lv[0], lv[1], lv[2], lv[3],
@@ -446,7 +403,7 @@ func (j *Journal) writeSnapshot(b int, gen int64, nodes map[uint16]*snapNode, st
 			if !ok {
 				return
 			}
-			s, val := ckEnc64(int64(seq)), ckEnc64(v)
+			s, val := nvm.Enc64(int64(seq)), nvm.Enc64(v)
 			ok = j.appendRecord(b, ckTagSnapVal, []uint16{id, s[0], s[1], s[2], s[3], val[0], val[1], val[2], val[3]})
 		})
 		if !ok {
@@ -461,63 +418,86 @@ func (j *Journal) writeSnapshot(b int, gen int64, nodes map[uint16]*snapNode, st
 // complete; nothing is lost, and the next compaction attempt (or
 // recovery) simply retries. It reports whether the flip happened.
 func (j *Journal) compact(nodes map[uint16]*snapNode, stores map[uint16]*valueStore) bool {
-	idle := 1 - j.live
-	j.banks[idle] = j.banks[idle][:0]
-	if !j.writeSnapshot(idle, j.gen+1, nodes, stores) {
-		return false
-	}
-	// The snapEnd word is durable: the new bank is authoritative from
-	// here even if the erase below never happens (recovery picks the
-	// higher generation).
-	j.gen++
-	j.live = idle
-	j.banks[1-idle] = j.banks[1-idle][:0]
-	return true
+	return j.bk.Compact(func(idle int, gen int64) bool {
+		return j.writeSnapshot(idle, gen, nodes, stores)
+	})
 }
 
 // seed initializes a fresh journal with an empty generation-1
 // snapshot, so "no complete snapshot anywhere" is always corruption,
 // never a fresh boot.
 func (j *Journal) seed() bool {
-	j.gen = 1
-	j.live = 0
+	j.bk.SetLive(0, 1)
 	return j.writeSnapshot(0, 1, nil, nil)
 }
 
 // Words returns the live bank's durable words plus the idle bank's
 // (test introspection; the idle bank is non-empty only mid-crash).
 func (j *Journal) Words() []uint16 {
-	out := append([]uint16(nil), j.banks[j.live]...)
-	return append(out, j.banks[1-j.live]...)
+	out := append([]uint16(nil), j.r.Words(j.bk.Live())...)
+	return append(out, j.r.Words(j.bk.Idle())...)
 }
 
 // Store is a collector's durable checkpoint region: one Journal per
-// ingest shard, all powered by a single supply (a collector crash is
-// one event, not per-shard). Pass it to New for a fresh collector or
-// Recover after a crash; a Store outlives the Collector instances
-// built on it, exactly as the DP-Box journal outlives the box.
+// ingest shard, carved out of a single medium and powered by a single
+// supply (a collector crash is one event, not per-shard). Pass it to
+// New for a fresh collector or Recover after a crash; a Store
+// outlives the Collector instances built on it, exactly as the DP-Box
+// journal outlives the box.
 type Store struct {
-	pw     *power
+	pw     *nvm.Power
+	med    nvm.Medium
 	shards []*Journal
 }
 
-// NewStore builds an empty checkpoint store for the given shard
-// count (clamped like Config.Shards).
-func NewStore(shards int) *Store {
+// clampShards mirrors Config.Shards' clamp.
+func clampShards(shards int) int {
 	if shards <= 0 {
 		shards = 8
 	}
 	if shards > 1024 {
 		shards = 1024
 	}
-	s := &Store{pw: &power{}}
-	s.pw.failAfter.Store(-1)
-	s.shards = make([]*Journal, shards)
+	return shards
+}
+
+// NewStore builds an empty in-memory checkpoint store for the given
+// shard count (clamped like Config.Shards).
+func NewStore(shards int) *Store {
+	shards = clampShards(shards)
+	return newStoreOn(nvm.NewMemMedium(2*shards), nvm.NewPower(), shards)
+}
+
+// OpenStore opens (or creates) a file-backed checkpoint store under
+// dir. When the directory already holds bank files their count wins
+// over the shards argument — the store's geometry is part of its
+// durable state, and recovering with a different shard count would
+// strand checkpoints.
+func OpenStore(dir string, shards int) (*Store, error) {
+	shards = clampShards(shards)
+	if n := nvm.CountFileBanks(dir); n >= 2 {
+		shards = n / 2
+	}
+	med, err := nvm.OpenFileMedium(dir, 2*shards)
+	if err != nil {
+		return nil, err
+	}
+	return newStoreOn(med, nvm.NewPower(), shards), nil
+}
+
+// newStoreOn assembles a store over an explicit medium and supply
+// cell (crash sweeps arm the cell before the store exists).
+func newStoreOn(med nvm.Medium, pw *nvm.Power, shards int) *Store {
+	s := &Store{pw: pw, med: med, shards: make([]*Journal, shards)}
 	for i := range s.shards {
-		s.shards[i] = &Journal{pw: s.pw}
+		s.shards[i] = newJournal(med, pw, i)
 	}
 	return s
 }
+
+// Close releases the store's medium (file handles; a no-op for the
+// in-memory medium).
+func (s *Store) Close() error { return s.med.Close() }
 
 // Shards returns the store's shard count; a Collector using the store
 // always runs exactly this many ingest shards.
@@ -530,42 +510,47 @@ func (s *Store) Shard(i int) *Journal { return s.shards[i] }
 // FailAfterWrites schedules a store-wide power failure after n more
 // successful word writes, across all shards (n = 0 kills the next
 // write). Pass a negative n to disarm.
-func (s *Store) FailAfterWrites(n int) {
-	if n < 0 {
-		n = -1
-	}
-	s.pw.failAfter.Store(int64(n))
-}
+func (s *Store) FailAfterWrites(n int) { s.pw.FailAfterWrites(n) }
 
 // Kill drops NVM power immediately; all further writes fail and every
 // shard of the collector fails closed.
-func (s *Store) Kill() {
-	s.pw.dead.Store(true)
-}
+func (s *Store) Kill() { s.pw.Kill() }
 
 // Dead reports whether the store has lost power.
-func (s *Store) Dead() bool {
-	return s.pw.dead.Load()
-}
+func (s *Store) Dead() bool { return s.pw.Dead() }
 
 // Revive restores power (the restart's secure boot) and disarms any
 // scheduled failure. Call it before Recover.
-func (s *Store) Revive() {
-	s.pw.dead.Store(false)
-	s.pw.failAfter.Store(-1)
-}
+func (s *Store) Revive() { s.pw.Revive() }
 
 // Writes returns the total durable word count across every shard and
 // bank — the crash-sweep axis ("fail after the w-th word write").
-func (s *Store) Writes() uint64 {
-	return s.pw.writes.Load()
+func (s *Store) Writes() uint64 { return s.pw.Writes() }
+
+// NVMStats aggregates the engine's introspection surface across every
+// shard. Callers must hold the store quiescent (no concurrent
+// admissions); a live Collector exposes the locked variant instead.
+func (s *Store) NVMStats() nvm.Stats {
+	agg := nvm.Stats{
+		Banks:      s.med.Banks(),
+		Writes:     s.pw.Writes(),
+		FailClosed: s.pw.Dead(),
+	}
+	for _, j := range s.shards {
+		st := j.r.Stats()
+		agg.Words += st.Words
+		agg.Compactions += st.Compactions
+	}
+	return agg
 }
 
-// empty reports whether no shard holds any durable words (a store
-// that has never been seeded by New).
-func (s *Store) empty() bool {
-	for _, j := range s.shards {
-		if len(j.banks[0]) != 0 || len(j.banks[1]) != 0 {
+// Empty reports whether no shard holds any durable words — a store
+// that has never been seeded. NewDurable requires an empty store;
+// callers opening a file-backed store (fleet restart) branch on this
+// to choose between NewDurable and Recover.
+func (s *Store) Empty() bool {
+	for b := 0; b < s.med.Banks(); b++ {
+		if s.med.Len(b) != 0 {
 			return false
 		}
 	}

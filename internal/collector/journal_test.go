@@ -3,6 +3,9 @@ package collector
 import (
 	"errors"
 	"testing"
+
+	"ulpdp/internal/nvm"
+	"ulpdp/internal/nvm/nvmtest"
 )
 
 // admSpec is one scripted admission for the crash-sweep harness.
@@ -56,7 +59,7 @@ func runSweepScript(s *Store) (*shardState, bool) {
 
 // requireStateEqual asserts the recovered shard state carries exactly
 // the mirror's admissions and per-node last-ACK metadata.
-func requireStateEqual(t *testing.T, w int, got, want *shardState) {
+func requireStateEqual(t testing.TB, w int, got, want *shardState) {
 	t.Helper()
 	count := func(st *shardState) int {
 		n := 0
@@ -98,19 +101,19 @@ func requireStateEqual(t *testing.T, w int, got, want *shardState) {
 // and snapshot rewrites alike — and asserts recovery reconstructs
 // exactly the ACKed prefix: no admission the collector ACKed is lost,
 // no torn admission is resurrected, and replay never mistakes a torn
-// tail for corruption.
+// tail for corruption. The sweep itself is the shared
+// nvmtest.CrashSweep property harness.
 func TestCheckpointCrashSweep(t *testing.T) {
-	clean := NewStore(1)
-	runSweepScript(clean)
-	total := int(clean.Writes())
-	if total < 16*len(sweepScript()) {
-		t.Fatalf("suspiciously small baseline: %d words", total)
-	}
-
-	for w := 0; w <= total; w++ {
-		s := NewStore(1)
-		s.FailAfterWrites(w)
+	nvmtest.CrashSweep(t, func(t testing.TB, pw *nvm.Power, cut int) {
+		s := newStoreOn(nvm.NewMemMedium(2), pw, 1)
 		mirror, seeded := runSweepScript(s)
+		if cut < 0 {
+			// Baseline pass: just sanity-check the script's word volume.
+			if total := int(pw.Writes()); total < 16*len(sweepScript()) {
+				t.Fatalf("suspiciously small baseline: %d words", total)
+			}
+			return
+		}
 		s.Revive()
 		st, err := s.Shard(0).replay()
 		if !seeded {
@@ -118,15 +121,15 @@ func TestCheckpointCrashSweep(t *testing.T) {
 			// reported failure, the collector never ran, and replay
 			// correctly refuses the half-written journal.
 			if err == nil {
-				t.Fatalf("crash@%d: replay accepted a journal whose seeding failed", w)
+				t.Fatalf("crash@%d: replay accepted a journal whose seeding failed", cut)
 			}
-			continue
+			return
 		}
 		if err != nil {
-			t.Fatalf("crash@%d: replay refused a pure torn tail: %v", w, err)
+			t.Fatalf("crash@%d: replay refused a pure torn tail: %v", cut, err)
 		}
-		requireStateEqual(t, w, st, mirror)
-	}
+		requireStateEqual(t, cut, st, mirror)
+	})
 }
 
 // TestCheckpointRecoverSurvivesReCrash re-runs the tail of the script
@@ -208,8 +211,8 @@ func TestCheckpointMidLogCorruptionRefused(t *testing.T) {
 
 	t.Run("payload flip mid-log", func(t *testing.T) {
 		j := build(t)
-		bank := j.banks[j.live]
-		j.banks[j.live][len(bank)/2] ^= 0x0040
+		bank := j.r.Words(j.bk.Live())
+		bank[len(bank)/2] ^= 0x0040
 		if _, err := j.replay(); !errors.Is(err, errCorruptCheckpoint) {
 			t.Fatalf("mid-log flip: err = %v, want errCorruptCheckpoint", err)
 		}
@@ -219,7 +222,8 @@ func TestCheckpointMidLogCorruptionRefused(t *testing.T) {
 		j := build(t)
 		// The live bank opens with the seed snapshot's snapBegin
 		// header; stamp an unassigned tag on it.
-		j.banks[j.live][0] = 0xF<<12 | j.banks[j.live][0]&0x0FFF
+		bank := j.r.Words(j.bk.Live())
+		bank[0] = 0xF<<12 | bank[0]&0x0FFF
 		if _, err := j.replay(); !errors.Is(err, errCorruptCheckpoint) {
 			t.Fatalf("invalid tag: err = %v, want errCorruptCheckpoint", err)
 		}
@@ -231,8 +235,8 @@ func TestCheckpointMidLogCorruptionRefused(t *testing.T) {
 		// admission was never ACKed on (commit durability gates the
 		// ACK), so replay accepts the log minus that admission.
 		j := build(t)
-		bank := j.banks[j.live]
-		j.banks[j.live][len(bank)-1] ^= 1
+		bank := j.r.Words(j.bk.Live())
+		bank[len(bank)-1] ^= 1
 		st, err := j.replay()
 		if err != nil {
 			t.Fatalf("final-record flip refused: %v", err)
@@ -246,8 +250,7 @@ func TestCheckpointMidLogCorruptionRefused(t *testing.T) {
 	t.Run("truncated tail reads as torn", func(t *testing.T) {
 		j := build(t)
 		for cut := 1; cut <= 30; cut++ {
-			bank := j.banks[j.live]
-			j.banks[j.live] = bank[:len(bank)-1]
+			j.truncateBank(j.bk.Live(), j.liveLen()-1)
 			if _, err := j.replay(); err != nil {
 				t.Fatalf("cut %d words: %v", cut, err)
 			}
@@ -259,7 +262,7 @@ func TestCheckpointMidLogCorruptionRefused(t *testing.T) {
 		// proves it holds the full dedup state; a shard recovered from
 		// it could re-admit ACKed reports, so replay refuses.
 		j := build(t)
-		j.banks[j.live] = j.banks[j.live][:8]
+		j.truncateBank(j.bk.Live(), 8)
 		if _, err := j.replay(); !errors.Is(err, errCorruptCheckpoint) {
 			t.Fatalf("half snapshot: err = %v, want errCorruptCheckpoint", err)
 		}
@@ -270,8 +273,8 @@ func TestCheckpointMidLogCorruptionRefused(t *testing.T) {
 		// gen-1 snapshot), so recovery must refuse rather than serve an
 		// empty dedup state that would re-admit everything.
 		j := build(t)
-		j.banks[0] = j.banks[0][:0]
-		j.banks[1] = j.banks[1][:0]
+		j.r.Erase(0)
+		j.r.Erase(1)
 		if _, err := j.replay(); !errors.Is(err, errCorruptCheckpoint) {
 			t.Fatalf("empty journal: err = %v, want errCorruptCheckpoint", err)
 		}
@@ -349,7 +352,7 @@ func TestBankElectionPrefersHigherGeneration(t *testing.T) {
 	for _, a := range sweepScript()[:5] {
 		next.admit(a.node, a.seq, a.val, 0)
 	}
-	if !j.writeSnapshot(1-j.live, j.gen+1, next.nodes, next.stores) {
+	if !j.writeSnapshot(j.bk.Idle(), j.bk.Gen()+1, next.nodes, next.stores) {
 		t.Fatal("snapshot write failed")
 	}
 	st, err := j.replay()
@@ -361,7 +364,7 @@ func TestBankElectionPrefersHigherGeneration(t *testing.T) {
 	}
 	requireStateEqual(t, -1, st, next)
 	// The losing bank is erased on election.
-	if got := len(j.banks[1-j.live]); got != 0 {
+	if got := j.r.Len(j.bk.Idle()); got != 0 {
 		t.Fatalf("losing bank still holds %d words", got)
 	}
 }

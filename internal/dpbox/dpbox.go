@@ -341,6 +341,17 @@ func New(cfg Config) (*DPBox, error) {
 	b := &DPBox{cfg: cfg, fp: cfg.Faults, phase: PhaseInit, thOverride: -1, dirty: true,
 		ledger: &budgetLedger{j: cfg.Journal, obs: cfg.Obs}, ownTimer: true, healthy: true,
 		obs: cfg.Obs, obsCh: cfg.ObsChannel}
+	if j := cfg.Journal; j != nil {
+		// The storage engine counts journal intents/commits itself;
+		// route them into this box's metrics (nil detaches), and give
+		// the fault plane's power rail a direct line to the supply
+		// cell so a scheduled power loss kills the NVM at the engine
+		// layer, not only through the box's own powerFail path.
+		j.bindObs(cfg.Obs)
+		if fp := cfg.Faults; fp != nil {
+			fp.BindPowerSink(j.Power())
+		}
+	}
 	return b, nil
 }
 
@@ -419,10 +430,6 @@ func (l *budgetLedger) charge(units int64) bool {
 	if l.j != nil && !l.j.appendCharge(units) {
 		return false
 	}
-	if m := l.obs; m != nil && l.j != nil {
-		m.JournalIntents.Inc()
-		m.JournalCommits.Inc()
-	}
 	l.deduct(units)
 	return true
 }
@@ -435,10 +442,6 @@ func (l *budgetLedger) chargeRelease(units int64, reportSeq uint64, rel Release)
 	defer l.mu.Unlock()
 	if l.j != nil && !l.j.appendChargeRelease(units, reportSeq, rel.Value, rel.flags()) {
 		return false
-	}
-	if m := l.obs; m != nil && l.j != nil {
-		m.JournalIntents.Inc()
-		m.JournalCommits.Inc()
 	}
 	l.deduct(units)
 	return true

@@ -4,13 +4,16 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"ulpdp/internal/nvm"
 )
 
-// Journal is the DP-Box budget ledger's write-ahead log, modelling a
-// small append-only NVM region with 16-bit word-granular writes. Power
+// Journal is the DP-Box budget ledger's write-ahead log: a
+// single-bank region of the shared internal/nvm engine, modelling a
+// small append-only NVM area with 16-bit word-granular writes. Power
 // can fail between any two word writes (FailAfterWrites), leaving a
-// torn record at the tail; the replay parser stops at the first record
-// that is truncated or fails its checksum, so a torn tail is
+// torn record at the tail; the replay parser stops at the first
+// record that is truncated or fails its checksum, so a torn tail is
 // indistinguishable from "never written" — exactly the atomicity the
 // two-phase charge protocol needs.
 //
@@ -19,7 +22,7 @@ import (
 //	hdr      tag<<12 | seq (seq is a 12-bit wrapping sequence number)
 //	payload  0, 1 or 4 words depending on tag (64-bit values are 4
 //	         little-endian 16-bit words)
-//	chk      xor of hdr and payload words, xor 0x5AA5
+//	chk      xor of hdr and payload words, xor nvm.SaltBudget
 //
 // Tags:
 //
@@ -50,17 +53,42 @@ import (
 // released — the at-most-once-noising guarantee the fleet transport
 // retries against.
 type Journal struct {
-	words []uint16
-	seq   uint16
-
-	// failAfter counts down remaining allowed word writes; -1 means no
-	// scheduled failure. dead latches once the NVM supply is lost.
-	failAfter int
-	dead      bool
+	r *nvm.Region
 }
 
-// NewJournal returns an empty, powered journal.
-func NewJournal() *Journal { return &Journal{failAfter: -1} }
+// budgetLayout is the budget journal's record dialect over the
+// shared engine.
+func budgetLayout() nvm.Layout {
+	return nvm.Layout{Salt: nvm.SaltBudget, PayloadLen: payloadLen}
+}
+
+// NewJournal returns an empty, powered journal on the simulated
+// in-memory medium.
+func NewJournal() *Journal {
+	return newJournalWith(nvm.NewMemMedium(1), nvm.NewPower())
+}
+
+// newJournalWith builds a journal over an explicit medium and supply
+// cell (crash sweeps arm the cell before the journal exists).
+func newJournalWith(med nvm.Medium, pw *nvm.Power) *Journal {
+	return &Journal{r: nvm.NewRegion(med, pw, budgetLayout())}
+}
+
+// OpenJournal opens (or creates) a file-backed journal under dir, so
+// a killed-and-restarted process recovers the budget ledger and
+// release cache from disk. Pass a non-empty journal to Recover; a
+// fresh one goes straight to DPBox.Initialize.
+func OpenJournal(dir string) (*Journal, error) {
+	med, err := nvm.OpenFileMedium(dir, 1)
+	if err != nil {
+		return nil, err
+	}
+	return newJournalWith(med, nvm.NewPower()), nil
+}
+
+// Close releases the journal's medium (file handles; a no-op for the
+// in-memory medium).
+func (j *Journal) Close() error { return j.r.Medium().Close() }
 
 // journal record tags.
 const (
@@ -86,8 +114,6 @@ const (
 // report outstanding, far under it.
 const compactReleaseCap = 64
 
-const chkSalt = 0x5AA5
-
 // payloadLen returns the payload word count for a tag, or -1 for an
 // unknown tag.
 func payloadLen(tag uint16) int {
@@ -104,76 +130,25 @@ func payloadLen(tag uint16) int {
 	return -1
 }
 
-func checksum(hdr uint16, payload []uint16) uint16 {
-	c := hdr ^ uint16(chkSalt)
-	for _, w := range payload {
-		c ^= w
-	}
-	return c
-}
-
-func enc64(v int64) [4]uint16 {
-	u := uint64(v)
-	return [4]uint16{uint16(u), uint16(u >> 16), uint16(u >> 32), uint16(u >> 48)}
-}
-
-func dec64(w []uint16) int64 {
-	return int64(uint64(w[0]) | uint64(w[1])<<16 | uint64(w[2])<<32 | uint64(w[3])<<48)
-}
-
-// put writes one word, honoring the scheduled power failure. It
-// reports whether the word became durable.
-func (j *Journal) put(w uint16) bool {
-	if j.dead {
-		return false
-	}
-	if j.failAfter == 0 {
-		j.dead = true
-		return false
-	}
-	if j.failAfter > 0 {
-		j.failAfter--
-	}
-	j.words = append(j.words, w)
-	return true
-}
-
-// appendRecord writes hdr, payload and checksum word by word. False
-// means power failed partway: the tail is torn and the journal dead.
-func (j *Journal) appendRecord(tag uint16, payload []uint16) bool {
-	hdr := tag<<12 | (j.seq & 0x0FFF)
-	j.seq++
-	if !j.put(hdr) {
-		return false
-	}
-	for _, w := range payload {
-		if !j.put(w) {
-			return false
-		}
-	}
-	return j.put(checksum(hdr, payload))
-}
-
 func (j *Journal) appendConfig(initialUnits int64, replenishEvery uint64) bool {
-	a, b := enc64(initialUnits), enc64(int64(replenishEvery))
-	return j.appendRecord(tagConfig, []uint16{a[0], a[1], a[2], a[3], b[0], b[1], b[2], b[3]})
+	a, b := nvm.Enc64(initialUnits), nvm.Enc64(int64(replenishEvery))
+	return j.r.Append(0, tagConfig, []uint16{a[0], a[1], a[2], a[3], b[0], b[1], b[2], b[3]})
 }
 
 // appendCharge runs the two-phase protocol: intent then commit. Only
 // after both records are durable may the caller apply the charge and
 // emit the output.
 func (j *Journal) appendCharge(units int64) bool {
-	p := enc64(units)
-	seq := j.seq // intent and commit share the sequence number
-	if !j.appendRecord(tagIntent, p[:]) {
+	p := nvm.Enc64(units)
+	pair, ok := j.r.TxnBegin(0, tagIntent, p[:])
+	if !ok {
 		return false
 	}
-	j.seq = seq // commit reuses the intent's seq for pairing
-	return j.appendRecord(tagCommit, nil)
+	return j.r.TxnCommit(0, tagCommit, pair)
 }
 
 func (j *Journal) appendReplenish() bool {
-	return j.appendRecord(tagReplenish, nil)
+	return j.r.Append(0, tagReplenish, nil)
 }
 
 // appendChargeRelease runs the two-phase protocol with a release
@@ -183,53 +158,61 @@ func (j *Journal) appendReplenish() bool {
 // charge was rolled back, nor a charge whose released value is
 // unknown.
 func (j *Journal) appendChargeRelease(units int64, reportSeq uint64, value int64, flags uint16) bool {
-	p := enc64(units)
-	seq := j.seq // intent and commit share the sequence number
-	if !j.appendRecord(tagIntent, p[:]) {
+	p := nvm.Enc64(units)
+	pair, ok := j.r.TxnBegin(0, tagIntent, p[:])
+	if !ok {
 		return false
 	}
-	s, v := enc64(int64(reportSeq)), enc64(value)
-	if !j.appendRecord(tagRelease, []uint16{s[0], s[1], s[2], s[3], v[0], v[1], v[2], v[3], flags}) {
+	s, v := nvm.Enc64(int64(reportSeq)), nvm.Enc64(value)
+	if !j.r.Append(0, tagRelease, []uint16{s[0], s[1], s[2], s[3], v[0], v[1], v[2], v[3], flags}) {
 		return false
 	}
-	j.seq = seq // commit reuses the intent's seq for pairing
-	return j.appendRecord(tagCommit, nil)
+	return j.r.TxnCommit(0, tagCommit, pair)
 }
 
 func (j *Journal) appendCheckpoint(units int64) bool {
-	p := enc64(units)
-	return j.appendRecord(tagCheckpoint, p[:])
+	p := nvm.Enc64(units)
+	return j.r.Append(0, tagCheckpoint, p[:])
+}
+
+// bindObs routes the engine's per-transaction telemetry (journal
+// intent/commit counters) into the box metrics; nil m detaches.
+func (j *Journal) bindObs(m *Metrics) {
+	if m == nil {
+		j.r.BindCounters(nil, nil)
+		return
+	}
+	j.r.BindCounters(m.JournalIntents, m.JournalCommits)
 }
 
 // FailAfterWrites schedules a power failure after n more successful
 // word writes (n = 0 kills the next write). Pass a negative n to
 // disarm.
-func (j *Journal) FailAfterWrites(n int) {
-	if n < 0 {
-		j.failAfter = -1
-		return
-	}
-	j.failAfter = n
-}
+func (j *Journal) FailAfterWrites(n int) { j.r.Power().FailAfterWrites(n) }
 
 // Kill drops NVM power immediately; all further writes fail.
-func (j *Journal) Kill() { j.dead = true }
+func (j *Journal) Kill() { j.r.Power().Kill() }
 
 // Alive reports whether the journal still accepts writes.
-func (j *Journal) Alive() bool { return !j.dead }
+func (j *Journal) Alive() bool { return !j.r.Power().Dead() }
 
 // revive restores power to the journal (secure boot).
-func (j *Journal) revive() {
-	j.dead = false
-	j.failAfter = -1
-}
+func (j *Journal) revive() { j.r.Power().Revive() }
 
-// Writes returns the number of durable words.
-func (j *Journal) Writes() int { return len(j.words) }
+// Power returns the journal's supply cell (the fault plane's
+// power-loss site binds to it).
+func (j *Journal) Power() *nvm.Power { return j.r.Power() }
+
+// Writes returns the number of durable words currently in the log.
+func (j *Journal) Writes() int { return j.r.Len(0) }
+
+// Stats returns the engine's introspection surface (durable words,
+// banks, cumulative writes, compactions, fail-closed).
+func (j *Journal) Stats() nvm.Stats { return j.r.Stats() }
 
 // Snapshot returns a copy of the durable words (test introspection).
 func (j *Journal) Snapshot() []uint16 {
-	return append([]uint16(nil), j.words...)
+	return append([]uint16(nil), j.r.Words(0)...)
 }
 
 // Release is one durably recorded (report sequence → noised value)
@@ -286,7 +269,9 @@ type LedgerState struct {
 // Replay reconstructs the ledger from the durable words. A truncated
 // or checksum-failing tail record ends the scan silently (that is the
 // torn write the protocol is designed around); structurally impossible
-// sequences return an error.
+// sequences return an error. The budget journal is lenient where the
+// collector store is fail-closed: this log is single-writer, short,
+// and every record it could lose was by construction never emitted.
 func (j *Journal) Replay() (LedgerState, error) {
 	var st LedgerState
 	var pendAmt int64
@@ -294,17 +279,11 @@ func (j *Journal) Replay() (LedgerState, error) {
 	var pendRelSeq uint64
 	var pendRel Release
 	pending, pendingRel := false, false
-	w := j.words
-	for i := 0; i < len(w); {
-		hdr := w[i]
-		tag, seq := hdr>>12, hdr&0x0FFF
-		n := payloadLen(tag)
-		if n < 0 || i+1+n+1 > len(w) {
-			break // torn or trailing-garbage tail
-		}
-		payload := w[i+1 : i+1+n]
-		if w[i+1+n] != checksum(hdr, payload) {
-			break // torn tail
+	sc := nvm.NewScanner(budgetLayout(), j.r.Words(0))
+	for {
+		tag, seq, payload, status := sc.Next()
+		if status != nvm.ScanRecord {
+			break // end of log, or a torn/trailing-garbage tail
 		}
 		if !st.Configured && tag != tagConfig {
 			return st, fmt.Errorf("dpbox: journal record tag %d before config", tag)
@@ -315,18 +294,18 @@ func (j *Journal) Replay() (LedgerState, error) {
 				return st, errors.New("dpbox: duplicate journal config record")
 			}
 			st.Configured = true
-			st.InitialUnits = dec64(payload[0:4])
-			st.ReplenishEvery = uint64(dec64(payload[4:8]))
+			st.InitialUnits = nvm.Dec64(payload[0:4])
+			st.ReplenishEvery = uint64(nvm.Dec64(payload[4:8]))
 			st.Units = st.InitialUnits
 		case tagIntent:
-			pending, pendSeq, pendAmt = true, seq, dec64(payload)
+			pending, pendSeq, pendAmt = true, seq, nvm.Dec64(payload)
 			pendingRel = false
 		case tagRelease:
 			if !pending {
 				return st, errors.New("dpbox: journal release record outside a charge transaction")
 			}
-			pendRelSeq = uint64(dec64(payload[0:4]))
-			pendRel = releaseFromFlags(dec64(payload[4:8]), payload[8])
+			pendRelSeq = uint64(nvm.Dec64(payload[0:4]))
+			pendRel = releaseFromFlags(nvm.Dec64(payload[4:8]), payload[8])
 			pendingRel = true
 		case tagCommit:
 			if pending && seq == pendSeq {
@@ -347,9 +326,8 @@ func (j *Journal) Replay() (LedgerState, error) {
 			st.Units = st.InitialUnits
 		case tagCheckpoint:
 			pending, pendingRel = false, false
-			st.Units = dec64(payload)
+			st.Units = nvm.Dec64(payload)
 		}
-		i += 1 + n + 1
 	}
 	return st, nil
 }
@@ -360,8 +338,15 @@ func (j *Journal) Replay() (LedgerState, error) {
 // already accounts for their spend), bounding NVM growth across power
 // cycles while keeping the retransmission window replayable.
 func (j *Journal) compact(st LedgerState) error {
-	j.words = j.words[:0]
-	j.seq = 0
+	// Recovery-time rewrites are not charge traffic: suspend the
+	// intent/commit telemetry while old transactions are folded into
+	// the fresh log.
+	intents, commits := j.r.Counters()
+	j.r.BindCounters(nil, nil)
+	defer j.r.BindCounters(intents, commits)
+
+	j.r.Erase(0)
+	j.r.SetSeq(0)
 	if !j.appendConfig(st.InitialUnits, st.ReplenishEvery) || !j.appendCheckpoint(st.Units) {
 		return errors.New("dpbox: journal compaction failed (NVM dead)")
 	}
@@ -379,6 +364,7 @@ func (j *Journal) compact(st LedgerState) error {
 			return errors.New("dpbox: journal compaction failed (NVM dead)")
 		}
 	}
+	j.r.NoteCompaction()
 	return nil
 }
 
@@ -403,8 +389,8 @@ func Recover(cfg Config, j *Journal) (*DPBox, error) {
 		return nil, err
 	}
 	if !st.Configured {
-		j.words = j.words[:0] // discard any torn pre-lock tail
-		j.seq = 0
+		j.r.Erase(0) // discard any torn pre-lock tail
+		j.r.SetSeq(0)
 		return b, nil
 	}
 	if err := j.compact(st); err != nil {

@@ -4,6 +4,9 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"ulpdp/internal/nvm"
+	"ulpdp/internal/nvm/nvmtest"
 )
 
 // journalCfg is smallCfg with a fresh journal attached.
@@ -116,30 +119,17 @@ func TestRecoveredReplayIsBitExact(t *testing.T) {
 // invariant at each cut: a sequence whose value was handed to the
 // caller must replay bit-exactly after recovery, and a recovered
 // release must have its charge durably applied (no uncharged binding).
+// The cut schedule comes from nvmtest.CrashSweep, the same word-level
+// sweep harness the collector's checkpoint tests use.
 func TestSeqReleasePowerLossSweep(t *testing.T) {
-	// Reference run: count total journal words.
-	ref := NewJournal()
-	refCfg := smallCfg(41)
-	refCfg.Journal = ref
-	rb := boot(t, refCfg, 1e6)
 	type emission struct {
 		seq    uint64
 		value  int64
 		charge int64
 	}
 	var refEmitted []emission
-	for seq := uint64(0); seq < 5; seq++ {
-		r, err := rb.NoiseValueSeq(seq, int64(3*seq))
-		if err != nil {
-			t.Fatal(err)
-		}
-		refEmitted = append(refEmitted, emission{seq, r.Value, int64(math.Round(r.Charged / chargeUnit))})
-	}
-	totalWords := ref.Writes()
-
-	for cut := 0; cut <= totalWords; cut++ {
-		j := NewJournal()
-		j.FailAfterWrites(cut)
+	nvmtest.CrashSweep(t, func(t testing.TB, pw *nvm.Power, cut int) {
+		j := newJournalWith(nvm.NewMemMedium(1), pw)
 		cfg := smallCfg(41)
 		cfg.Journal = j
 		b, err := New(cfg)
@@ -164,6 +154,11 @@ func TestSeqReleasePowerLossSweep(t *testing.T) {
 			return nil
 		}
 		_ = runScript() // death partway is the point
+		if cut < 0 {
+			// Baseline pass: full power, full trace — record the
+			// reference emissions the armed cuts compare against.
+			refEmitted = append(refEmitted[:0], emitted...)
+		}
 
 		rec, err := Recover(smallCfg(41), j)
 		if err != nil {
@@ -173,7 +168,7 @@ func TestSeqReleasePowerLossSweep(t *testing.T) {
 			if len(emitted) != 0 {
 				t.Fatalf("cut %d: %d emissions before budget lock", cut, len(emitted))
 			}
-			continue
+			return
 		}
 		// Invariant A: everything emitted pre-crash replays bit-exactly.
 		for _, e := range emitted {
@@ -223,7 +218,7 @@ func TestSeqReleasePowerLossSweep(t *testing.T) {
 				t.Fatalf("cut %d: post-recovery replay of seq %d diverged", cut, seq)
 			}
 		}
-	}
+	})
 }
 
 // TestCompactionKeepsRetransmissionWindow drives more releases than

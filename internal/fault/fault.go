@@ -114,6 +114,7 @@ type Plane struct {
 
 	powerArmed bool
 	powerCycle uint64
+	powerSink  PowerSink
 
 	counts [kindCount]uint64
 
@@ -150,6 +151,22 @@ func (p *Plane) SchedulePowerLoss(cycle uint64) {
 // DisarmPowerLoss cancels a scheduled power loss.
 func (p *Plane) DisarmPowerLoss() { p.powerArmed = false }
 
+// PowerSink is a non-volatile store that must lose power with the
+// rail — in practice an internal/nvm supply cell. It is an interface
+// here only to keep the fault plane's dependency arrow pointing
+// outward.
+type PowerSink interface {
+	// Kill drops the store's power; all further writes fail closed.
+	Kill()
+}
+
+// BindPowerSink attaches the store the power-loss site kills when the
+// rail fails (nil detaches). The owning device still loses its own
+// volatile state via Tick's return value; the sink binding guarantees
+// the NVM dies at the same instant even if the device's failure path
+// is itself faulty.
+func (p *Plane) BindPowerSink(s PowerSink) { p.powerSink = s }
+
 // Tick advances the plane's cycle counter and reports whether the
 // power rail fails on this cycle. The owning device calls it once per
 // device cycle and must treat a true return as an immediate loss of
@@ -160,6 +177,9 @@ func (p *Plane) Tick() (powerLost bool) {
 	if p.powerArmed && c >= p.powerCycle {
 		p.powerArmed = false
 		p.counts[KindPower]++
+		if p.powerSink != nil {
+			p.powerSink.Kill()
+		}
 		return true
 	}
 	return false

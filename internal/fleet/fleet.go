@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -69,8 +70,17 @@ type Config struct {
 	Shards int
 	// Durable runs the collector on a durable checkpoint store
 	// (collector.NewDurable), journaling every admission before its
-	// ACK. Implied by a non-empty CollectorCrashes schedule.
+	// ACK. Implied by a non-empty CollectorCrashes schedule or NVMDir.
 	Durable bool
+	// NVMDir, when non-empty, backs every durable region with the
+	// file-backed NVM medium under this directory: the collector's
+	// checkpoint store at NVMDir/collector and node i's budget journal
+	// at NVMDir/node-<i>. Implies Durable. A run that finds prior
+	// state there recovers it — budget ledgers, release windows,
+	// collector checkpoints — and each node continues its report loop
+	// where the dead process stopped (Result.Resumed), re-delivering
+	// its last un-ACKed release first.
+	NVMDir string
 	// CollectorCrashes schedules store-wide collector crashes: each
 	// ascending entry is a cumulative count of checkpoint words
 	// written after startup at which the store's NVM power dies.
@@ -149,6 +159,13 @@ type Result struct {
 	// BurnAlert reports that the burn-rate alerter tripped at any
 	// point during the run (latched; false without Config.Burn).
 	BurnAlert bool
+	// Resumed reports that prior durable state was found under
+	// Config.NVMDir and recovered — the collector's checkpoint store
+	// or at least one node journal — instead of starting fresh. A
+	// resumed run's spends and violations cover only the reports this
+	// process delivered; seed-for-seed comparison against a fresh run
+	// is meaningless.
+	Resumed bool
 }
 
 // splitmix64 derives independent sub-seeds from the master seed.
@@ -417,6 +434,11 @@ func Run(cfg Config) (Result, error) {
 		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
 		resMu.Unlock()
 	}
+	markResumed := func() {
+		resMu.Lock()
+		res.Resumed = true
+		resMu.Unlock()
+	}
 
 	colCfg := collector.Config{
 		BreakerThreshold: cfg.BreakerThreshold,
@@ -425,9 +447,29 @@ func Run(cfg Config) (Result, error) {
 		Obs:              colM,
 	}
 	var sup *colSupervisor
-	if cfg.Durable || len(cfg.CollectorCrashes) > 0 {
-		store := collector.NewStore(cfg.Shards)
-		c, err := collector.NewDurable(colCfg, store)
+	if cfg.NVMDir != "" || cfg.Durable || len(cfg.CollectorCrashes) > 0 {
+		var (
+			store *collector.Store
+			err   error
+		)
+		if cfg.NVMDir != "" {
+			store, err = collector.OpenStore(filepath.Join(cfg.NVMDir, "collector"), cfg.Shards)
+		} else {
+			store = collector.NewStore(cfg.Shards)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		defer store.Close()
+		var c *collector.Collector
+		if store.Empty() {
+			c, err = collector.NewDurable(colCfg, store)
+		} else {
+			// A prior process's checkpoints survive on disk: this run
+			// is a restart, not a fresh fleet.
+			res.Resumed = true
+			c, err = collector.Recover(colCfg, store)
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -460,20 +502,50 @@ func Run(cfg Config) (Result, error) {
 			return
 		}
 
-		j := dpbox.NewJournal()
-		box, err := dpbox.New(boxConfig(subSeed(cfg.Seed, seedURNG, i, 0), j, boxM, i))
-		if err != nil {
-			violate("node %d: %v", i, err)
-			return
+		var (
+			j   *dpbox.Journal
+			box *dpbox.DPBox
+			err error
+		)
+		if cfg.NVMDir != "" {
+			j, err = dpbox.OpenJournal(filepath.Join(cfg.NVMDir, fmt.Sprintf("node-%04d", i)))
+			if err != nil {
+				violate("node %d: %v", i, err)
+				return
+			}
+			defer j.Close()
+		} else {
+			j = dpbox.NewJournal()
 		}
-		if err := box.Initialize(cfg.Budget, 0); err != nil {
-			violate("node %d: %v", i, err)
-			return
+		if j.Writes() > 0 {
+			// The journal holds a prior process's ledger: recover it
+			// and continue the numbering instead of re-initializing
+			// (which would re-noise already-charged sequence numbers).
+			markResumed()
+			box, err = dpbox.Recover(boxConfig(subSeed(cfg.Seed, seedURNG, i, 0), nil, boxM, i), j)
+			if err != nil {
+				violate("node %d: recover from %s: %v", i, cfg.NVMDir, err)
+				return
+			}
+		} else {
+			box, err = dpbox.New(boxConfig(subSeed(cfg.Seed, seedURNG, i, 0), j, boxM, i))
+			if err != nil {
+				violate("node %d: %v", i, err)
+				return
+			}
+			if err := box.Initialize(cfg.Budget, 0); err != nil {
+				violate("node %d: %v", i, err)
+				return
+			}
 		}
 		if err := box.Configure(1, 0, 16); err != nil {
 			violate("node %d: %v", i, err)
 			return
 		}
+		// Spend is accounted from this process's baseline: on a fresh
+		// run that is cfg.Budget; on a resumed run the prior spend is
+		// already durable and belongs to the dead process's run.
+		budget0 := box.BudgetRemaining()
 		agentCfg := node.AgentConfig{
 			ID:          transport.NodeID(i),
 			MaxAttempts: 64,
@@ -482,7 +554,22 @@ func Run(cfg Config) (Result, error) {
 		}
 		agent := node.NewReportAgent(box, links[i].NodeEnd(), agentCfg)
 
-		for r := 0; r < cfg.Reports; r++ {
+		start := int(agent.NextSeq())
+		if start > 0 {
+			// The last journaled release may have died un-ACKed;
+			// re-deliver it before new reports. Re-ACKing an already
+			// recorded sequence is harmless (collector dedups), and a
+			// recovered collector re-ACKs it bit-exactly.
+			for agent.Resume(ctx) != nil {
+				if ctx.Err() != nil {
+					violate("node %d seq %d: resumed release undelivered at deadline", i, start-1)
+					return
+				}
+				nr.Redeliveries++
+			}
+		}
+
+		for r := start; r < cfg.Reports; r++ {
 			out, err := agent.Report(ctx, reading(i, r))
 			if err != nil {
 				if ctx.Err() != nil {
@@ -551,7 +638,7 @@ func Run(cfg Config) (Result, error) {
 		}
 
 		nr.Released = releasesOf(box)
-		nr.SpendNats = cfg.Budget - box.BudgetRemaining()
+		nr.SpendNats = budget0 - box.BudgetRemaining()
 
 		// Crash-consistency cross-check: replaying the journal
 		// must agree with the live ledger.
@@ -560,7 +647,7 @@ func Run(cfg Config) (Result, error) {
 			violate("node %d: journal replay: %v", i, err)
 			return
 		}
-		if live := int64(math.Round((cfg.Budget - nr.SpendNats) * 16)); st.Units != live {
+		if live := int64(math.Round(box.BudgetRemaining() * 16)); st.Units != live {
 			violate("node %d: journal units %d != live units %d", i, st.Units, live)
 		}
 
@@ -646,6 +733,13 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.Violations = append(res.Violations, CheckExactlyOnce(cfg, res)...)
 	if cfg.Obs != nil {
+		// Storage-engine introspection rides the same schema whether or
+		// not the collector is durable (all-zero gauges when volatile),
+		// so the golden metric names stay run-shape independent.
+		nst := col.NVMStats()
+		cfg.Obs.Gauge("nvm.durable_words").Set(int64(nst.Words))
+		cfg.Obs.Gauge("nvm.banks").Set(int64(nst.Banks))
+		cfg.Obs.Gauge("nvm.compactions").Set(int64(nst.Compactions))
 		snap := cfg.Obs.Snapshot()
 		res.Obs = &snap
 	}

@@ -60,6 +60,9 @@ var goldenNames = []string{
 	"node.reports",
 	"node.resumes",
 	"node.retransmits",
+	"nvm.banks",
+	"nvm.compactions",
+	"nvm.durable_words",
 	"trace",
 	"transport.corrupted",
 	"transport.delivered",

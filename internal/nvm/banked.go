@@ -1,0 +1,56 @@
+package nvm
+
+// Banked is the double-banked snapshot discipline over a two-bank
+// region, modelled on real flash: the live bank opens with a
+// generation-tagged snapshot and accumulates a WAL tail; compaction
+// writes generation+1's snapshot into the idle bank and only a
+// durable sealing record flips it live. A crash mid-compaction leaves
+// the old bank complete — recovery elects the highest complete
+// generation and erases the loser.
+type Banked struct {
+	r    *Region
+	live int   // region-relative bank holding the current snapshot + tail
+	gen  int64 // generation of the live bank's snapshot
+}
+
+// NewBanked wraps a two-bank region; bank 0 starts live at
+// generation 0 (callers seed or elect before use).
+func NewBanked(r *Region) *Banked { return &Banked{r: r} }
+
+// Live returns the live bank (region-relative).
+func (bk *Banked) Live() int { return bk.live }
+
+// Idle returns the idle bank (region-relative).
+func (bk *Banked) Idle() int { return 1 - bk.live }
+
+// Gen returns the live bank's snapshot generation.
+func (bk *Banked) Gen() int64 { return bk.gen }
+
+// SetLive installs an election result (recovery) or a seed: bank b is
+// live at generation gen. It does not touch the media.
+func (bk *Banked) SetLive(b int, gen int64) {
+	bk.live = b
+	bk.gen = gen
+}
+
+// Compact erases the idle bank, has write lay down the
+// next-generation snapshot there (write must end with the
+// generation-sealing record and report durability), and flips on
+// success. On failure the old bank stays live and complete; nothing
+// is lost, and the next attempt (or recovery) simply retries. It
+// reports whether the flip happened.
+func (bk *Banked) Compact(write func(idle int, gen int64) bool) bool {
+	idle := 1 - bk.live
+	bk.r.Erase(idle)
+	if !write(idle, bk.gen+1) {
+		return false
+	}
+	// The sealing word is durable: the new bank is authoritative from
+	// here even if the erase below never happens (recovery picks the
+	// higher generation).
+	bk.gen++
+	bk.live = idle
+	bk.r.Erase(1 - idle)
+	bk.r.NoteCompaction()
+	return true
+}

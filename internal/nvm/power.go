@@ -1,0 +1,74 @@
+package nvm
+
+import "sync/atomic"
+
+// Power is the supply cell shared by every bank of a region: a crash
+// takes the whole region down between two word writes, so the fail
+// countdown is global, not per bank. Clients journal concurrently
+// (the collector's shards share one cell across reactors) and every
+// admission costs a dozen-plus permit checks, so the cell is
+// lock-free: with no failure armed (the steady state) a permit is one
+// load and one relaxed counter bump, never a shared mutex.
+type Power struct {
+	failAfter atomic.Int64 // remaining allowed word writes; -1 = no scheduled failure
+	dead      atomic.Bool
+	writes    atomic.Uint64 // total durable words across every bank
+}
+
+// NewPower returns a live cell with no scheduled failure.
+func NewPower() *Power {
+	p := &Power{}
+	p.failAfter.Store(-1)
+	return p
+}
+
+// Allow consumes one word-write permit, honouring a scheduled
+// failure. False means the supply is (now) dead: the write must not
+// happen and the region fails closed.
+func (p *Power) Allow() bool {
+	if p.dead.Load() {
+		return false
+	}
+	for {
+		n := p.failAfter.Load()
+		if n < 0 {
+			p.writes.Add(1)
+			return true
+		}
+		if n == 0 {
+			p.dead.Store(true)
+			return false
+		}
+		if p.failAfter.CompareAndSwap(n, n-1) {
+			p.writes.Add(1)
+			return true
+		}
+	}
+}
+
+// FailAfterWrites schedules a power failure after n more successful
+// word writes (n = 0 kills the next write). Pass a negative n to
+// disarm.
+func (p *Power) FailAfterWrites(n int) {
+	if n < 0 {
+		n = -1
+	}
+	p.failAfter.Store(int64(n))
+}
+
+// Kill drops power immediately; all further writes fail.
+func (p *Power) Kill() { p.dead.Store(true) }
+
+// Dead reports whether the cell has lost power.
+func (p *Power) Dead() bool { return p.dead.Load() }
+
+// Revive restores power (secure boot) and disarms any scheduled
+// failure.
+func (p *Power) Revive() {
+	p.dead.Store(false)
+	p.failAfter.Store(-1)
+}
+
+// Writes returns the cumulative successful word writes — the
+// crash-sweep axis ("fail after the w-th word write").
+func (p *Power) Writes() uint64 { return p.writes.Load() }

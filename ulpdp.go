@@ -165,6 +165,29 @@ func NewDPBox(cfg DPBoxConfig) (*DPBox, error) {
 	return dpbox.New(cfg)
 }
 
+// DPBoxJournal is the DP-Box's word-granular NVM budget journal.
+// Attach one via DPBoxConfig.Journal for crash-consistent budget
+// accounting and at-most-once sequence-labelled releases; see
+// docs/nvm.md for the storage engine underneath.
+type DPBoxJournal = dpbox.Journal
+
+// NewDPBoxJournal returns an in-memory journal: full power-loss
+// semantics inside the process, no durability across process exit.
+func NewDPBoxJournal() *DPBoxJournal { return dpbox.NewJournal() }
+
+// OpenDPBoxJournal opens (or creates) a file-backed journal under
+// dir. A journal left behind by a dead process still holds its ledger
+// and release window — boot from it with RecoverDPBox. Close the
+// journal when done with the box.
+func OpenDPBoxJournal(dir string) (*DPBoxJournal, error) { return dpbox.OpenJournal(dir) }
+
+// RecoverDPBox is the secure-boot path after a crash: it replays j,
+// compacts it, and powers up a DP-Box with the recovered ledger and
+// release-retransmission window (cfg.Journal is overridden with j).
+// A journal that never reached the budget lock boots fresh in the
+// initialization phase.
+func RecoverDPBox(cfg DPBoxConfig, j *DPBoxJournal) (*DPBox, error) { return dpbox.Recover(cfg, j) }
+
 // DP-Box command-port opcodes, re-exported for hosts that drive the
 // port directly instead of through the convenience methods.
 const (
